@@ -1,0 +1,76 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from the
+// paper's evaluation (§4). Simulated durations default to a few ms (the
+// paper uses 30 ms); the `NEG_DURATION_MS` environment variable scales them
+// up for higher-fidelity runs. Shapes are stable at the defaults.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "engine/runner.h"
+#include "workload/generator.h"
+#include "workload/size_distribution.h"
+
+namespace negbench {
+
+using namespace negotiator;
+
+/// Bench duration: `default_ms` unless NEG_DURATION_MS overrides.
+inline Nanos bench_duration(double default_ms) {
+  if (const char* env = std::getenv("NEG_DURATION_MS")) {
+    const double ms = std::atof(env);
+    if (ms > 0) return static_cast<Nanos>(ms * kMilli);
+  }
+  return static_cast<Nanos>(default_ms * kMilli);
+}
+
+/// The paper's evaluation setup (§4.1) for a given system under test.
+inline NetworkConfig paper_config(TopologyKind topo, SchedulerKind sched,
+                                  bool priority_queues = true) {
+  NetworkConfig c;
+  c.topology = topo;
+  c.scheduler = sched;
+  c.pias.enabled = priority_queues;
+  return c;
+}
+
+/// Poisson Hadoop-style workload at `load` (fraction of host-aggregate).
+inline std::vector<Flow> load_workload(const NetworkConfig& cfg,
+                                       const SizeDistribution& sizes,
+                                       double load, Nanos duration,
+                                       std::uint64_t seed) {
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), load,
+                        Rng(seed));
+  return gen.generate(0, duration);
+}
+
+/// One standard measurement: run to `duration`, stats over the second half
+/// (skipping ramp-up, as the paper's long 30 ms horizon effectively does).
+inline RunResult measure(const NetworkConfig& cfg,
+                         const std::vector<Flow>& flows, Nanos duration) {
+  Runner runner(cfg);
+  runner.add_flows(flows);
+  return runner.run(duration, duration / 2);
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// FCT in ms (the unit of Fig. 9/11/13's y axis).
+inline std::string fct_ms(double ns) { return fmt(ns / 1e6, 4); }
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline const double kLoads[] = {0.10, 0.25, 0.50, 0.75, 1.00};
+
+}  // namespace negbench

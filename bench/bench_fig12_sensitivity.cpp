@@ -1,0 +1,55 @@
+// Fig. 12: parameter sensitivity on the parallel network.
+//  (a) predefined-phase timeslot duration {20,30,60,90,120} ns (incl. the
+//      10 ns guardband) — controls how much data one piggyback carries;
+//  (b) scheduled-phase length {10,30,50,100,500} timeslots.
+//
+// Expected shape: performance is flat near the defaults (60 ns / 30
+// slots); extreme settings hurt — too-short slots starve the bypass,
+// too-long scheduled phases raise scheduling delay and staleness.
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace negbench;
+
+int main() {
+  print_header("Fig. 12: parameter sensitivity (parallel network)");
+  const Nanos duration = bench_duration(3.0);
+  const auto sizes = SizeDistribution::hadoop();
+  const double loads[] = {0.10, 0.50, 1.00};
+
+  std::printf("\n(a) predefined timeslot duration: 99p mice FCT (us)\n");
+  ConsoleTable slot_table({"slot (ns)", "10% load", "50% load", "100% load"});
+  for (Nanos slot : {20, 30, 60, 90, 120}) {
+    NetworkConfig cfg =
+        paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
+    cfg.epoch.predefined_data_ns = slot - cfg.epoch.guardband_ns;
+    std::vector<std::string> row{std::to_string(slot) +
+                                 (slot == 60 ? "*" : "")};
+    for (double load : loads) {
+      const auto flows = load_workload(cfg, sizes, load, duration, 12);
+      const RunResult r = measure(cfg, flows, duration);
+      row.push_back(fmt(r.mice.p99_ns / 1e3, 1));
+    }
+    slot_table.add_row(row);
+  }
+  slot_table.print();
+
+  std::printf("\n(b) scheduled phase length: 99p mice FCT (ms) / goodput\n");
+  ConsoleTable len_table({"slots", "10% load", "50% load", "100% load"});
+  for (int slots : {10, 30, 50, 100, 500}) {
+    NetworkConfig cfg =
+        paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
+    cfg.epoch.scheduled_slots = slots;
+    std::vector<std::string> row{std::to_string(slots) +
+                                 (slots == 30 ? "*" : "")};
+    for (double load : loads) {
+      const auto flows = load_workload(cfg, sizes, load, duration, 13);
+      const RunResult r = measure(cfg, flows, duration);
+      row.push_back(fct_ms(r.mice.p99_ns) + " / " + fmt(r.goodput, 2));
+    }
+    len_table.add_row(row);
+  }
+  len_table.print();
+  std::printf("\n(* = the default evaluation setting)\n");
+  return 0;
+}

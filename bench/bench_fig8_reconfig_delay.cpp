@@ -1,0 +1,35 @@
+// Fig. 8: NegotiaToR under various end-to-end reconfiguration delays
+// (guardbands) at 100% load. The scheduled phase is stretched
+// proportionally so the reconfiguration overhead ratio stays fixed (§4.2).
+//
+// Expected shape: performance stays good across 10-100 ns guardbands.
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace negbench;
+
+int main() {
+  print_header("Fig. 8: goodput and 99p mice FCT vs reconfiguration delay");
+  const Nanos duration = bench_duration(4.0);
+  const auto sizes = SizeDistribution::hadoop();
+
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    std::printf("\n-- %s --\n", to_string(topo));
+    ConsoleTable table(
+        {"delay (ns)", "epoch (us)", "99p FCT (ms)", "goodput"});
+    for (Nanos delay : {10, 20, 50, 100}) {
+      NetworkConfig cfg = with_reconfiguration_delay(
+          paper_config(topo, SchedulerKind::kNegotiator), delay);
+      const auto flows = load_workload(cfg, sizes, 1.0, duration, 8);
+      const RunResult r = measure(cfg, flows, duration);
+      table.add_row({std::to_string(delay),
+                     fmt(cfg.epoch_length_ns() / 1e3, 2),
+                     fct_ms(r.mice.p99_ns), fmt(r.goodput, 3)});
+    }
+    table.print();
+  }
+  std::printf(
+      "\npaper: goodput stays ~flat; FCT grows mildly with the epoch "
+      "stretching but remains in the 1e-2 ms decade.\n");
+  return 0;
+}

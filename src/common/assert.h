@@ -1,0 +1,16 @@
+// Always-on invariant checks. Simulation correctness bugs silently corrupt
+// results, so these stay enabled in release builds; they are cheap relative
+// to the work they guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NEG_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "NEG_ASSERT failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)

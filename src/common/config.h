@@ -1,0 +1,164 @@
+// Central configuration for a simulated fabric. Defaults reproduce the
+// paper's evaluation setup (§4.1): 128 8-port ToRs, 400 Gbps host aggregate
+// per ToR, 2x uplink speedup (100 Gbps per port), 2 us one-way propagation,
+// 10 ns guardband, 60 ns predefined timeslots (30 B control + 595 B
+// piggyback payload), 30 scheduled timeslots of 90 ns (10 B header + 1115 B
+// payload), epoch length 3.66 us.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace negotiator {
+
+/// Which flat topology interconnects the ToRs (Fig. 1).
+enum class TopologyKind {
+  kParallel,  ///< one high-port-count AWGR per plane (Fig. 1a)
+  kThinClos,  ///< many low-port-count AWGRs (Fig. 1b)
+};
+
+/// Which fabric scheduler drives reconfiguration.
+enum class SchedulerKind {
+  kNegotiator,            ///< NegotiaToR Matching (§3.2), the paper's design
+  kOblivious,             ///< Sirius-style round-robin + VLB relay baseline
+  kNegotiatorIterative,   ///< appendix A.2.1 iterative variant
+  kNegotiatorInformativeSize,  ///< A.2.3 data-size priority requests
+  kNegotiatorInformativeHol,   ///< A.2.3 weighted HoL-delay priority
+  kNegotiatorStateful,    ///< A.2.4 stateful traffic-matrix scheduling
+  kNegotiatorSelectiveRelay,   ///< A.2.2 traffic-aware selective relay
+  kProjector,             ///< A.2.5 ProjecToR-style per-port delay priority
+  kCentralized,           ///< §2 centralized maximal-matching comparator
+};
+
+const char* to_string(TopologyKind kind);
+const char* to_string(SchedulerKind kind);
+
+/// Timing/framing of one NegotiaToR epoch (§3.3, §4.1).
+struct EpochConfig {
+  /// Reconfiguration guardband before each predefined-phase timeslot.
+  Nanos guardband_ns{10};
+  /// Data-carrying portion of each predefined-phase timeslot.
+  Nanos predefined_data_ns{50};
+  /// Scheduling message + packet header bytes inside a predefined slot.
+  Bytes control_header_bytes{30};
+  /// Number of timeslots in the scheduled phase.
+  int scheduled_slots{30};
+  /// Length of one scheduled-phase timeslot (one packet per slot).
+  Nanos scheduled_slot_ns{90};
+  /// Packet header bytes inside a scheduled slot.
+  Bytes data_header_bytes{10};
+
+  /// Full length of one predefined-phase timeslot.
+  Nanos predefined_slot_ns() const { return guardband_ns + predefined_data_ns; }
+};
+
+/// PIAS-style multi-level feedback queue settings (§3.4.2). With the
+/// default thresholds the first 1 KB of a flow is sent at the highest
+/// priority, the following 9 KB at the middle one, and the rest last.
+struct PiasConfig {
+  bool enabled{true};
+  Bytes first_threshold{1_KB};
+  Bytes second_threshold{9_KB};
+  static constexpr int kLevels = 3;
+};
+
+/// Knobs for the appendix design-space variants.
+struct VariantConfig {
+  /// kNegotiatorIterative: number of request/grant/accept rounds (>= 1).
+  int iterations{1};
+  /// kNegotiatorInformativeHol: weight alpha for the lowest-priority queue's
+  /// HoL delay (A.2.3 finds 0.001 best).
+  double hol_alpha{0.001};
+  /// kNegotiatorSelectiveRelay: only lowest-priority (elephant) data above
+  /// this volume is considered for relay.
+  Bytes relay_elephant_threshold{100_KB};
+  /// kNegotiatorSelectiveRelay: per-destination relay queue capacity at the
+  /// intermediate ToR (congestion-control bound).
+  Bytes relay_queue_capacity{256_KB};
+  /// kNegotiatorSelectiveRelay: a candidate intermediate is excluded when
+  /// the direct traffic sharing its links exceeds this volume.
+  Bytes relay_heavy_direct_threshold{64_KB};
+};
+
+/// Traffic management below the ToRs (§3.6.5): receiver-side buffering
+/// with pause/resume watermarks (the fabric's 2x speedup can outrun the
+/// host links) and shaping of host->ToR ingress.
+struct HostPlaneConfig {
+  bool enabled{false};
+  /// Receiver-side buffer capacity per ToR.
+  Bytes rx_buffer_capacity{4'000'000};
+  /// Pause above this occupancy...
+  Bytes rx_high_watermark{3'000'000};
+  /// ...resume below this one.
+  Bytes rx_low_watermark{1'500'000};
+};
+
+/// Sirius-style traffic-oblivious baseline knobs.
+struct ObliviousConfig {
+  /// Total relay-buffer capacity at an intermediate ToR; senders stop
+  /// spreading towards an intermediate whose advertised occupancy exceeds
+  /// this (models the baseline's congestion control, which only has to
+  /// prevent buffer overflow — a deep commodity-ToR buffer, hence the
+  /// intermediate head-of-line blocking the paper attributes mice FCT
+  /// damage to).
+  Bytes relay_queue_capacity{8_MB};
+};
+
+/// Complete description of one simulated network.
+struct NetworkConfig {
+  int num_tors{128};
+  int ports_per_tor{8};
+  TopologyKind topology{TopologyKind::kParallel};
+  SchedulerKind scheduler{SchedulerKind::kNegotiator};
+
+  /// Aggregated host bandwidth under one ToR; goodput is normalized to it.
+  double host_aggregate_gbps{400.0};
+  /// Uplink speedup: total uplink bandwidth = speedup * host aggregate.
+  double speedup{2.0};
+  /// One-way ToR-to-ToR propagation delay.
+  Nanos propagation_delay_ns{2 * kMicro};
+
+  /// Data piggybacking in the predefined phase (§3.4.1).
+  bool piggyback{true};
+  /// Requests are only sent once queued bytes exceed this many piggyback
+  /// payloads (§3.4.1; ignored when piggyback is off, where any pending
+  /// byte triggers a request).
+  int request_threshold_packets{3};
+  /// Rotate the predefined-phase round-robin rule every epoch (§3.6.1).
+  bool rotate_predefined_rule{true};
+
+  PiasConfig pias;
+  EpochConfig epoch;
+  VariantConfig variant;
+  ObliviousConfig oblivious;
+  HostPlaneConfig host_plane;
+
+  std::uint64_t seed{1};
+
+  /// Uplink rate of a single ToR port.
+  Rate port_rate() const {
+    return Rate::from_gbps(host_aggregate_gbps * speedup / ports_per_tor);
+  }
+  /// Host-aggregate rate (normalization base for goodput).
+  Rate host_rate() const { return Rate::from_gbps(host_aggregate_gbps); }
+
+  /// Payload bytes one predefined-phase slot can piggyback.
+  Bytes piggyback_payload_bytes() const;
+  /// Payload bytes one scheduled-phase slot carries.
+  Bytes scheduled_payload_bytes() const;
+  /// Number of predefined-phase timeslots needed for one all-to-all round.
+  int predefined_slots() const;
+  /// Full epoch length (predefined + scheduled phase).
+  Nanos epoch_length_ns() const;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+
+  /// Human-readable one-line summary.
+  std::string summary() const;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,30 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace negotiator {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "OFF";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace negotiator

@@ -1,0 +1,30 @@
+// Minimal leveled logging to stderr. Off by default so benchmarks stay
+// quiet; tests and examples can raise the level.
+#pragma once
+
+#include <string>
+
+namespace negotiator {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+#define NEG_LOG(level, msg)                                      \
+  do {                                                           \
+    if (static_cast<int>(level) <=                               \
+        static_cast<int>(::negotiator::log_level())) {           \
+      ::negotiator::detail::log_line(level, (msg));              \
+    }                                                            \
+  } while (false)
+
+#define NEG_LOG_INFO(msg) NEG_LOG(::negotiator::LogLevel::kInfo, msg)
+#define NEG_LOG_WARN(msg) NEG_LOG(::negotiator::LogLevel::kWarn, msg)
+#define NEG_LOG_ERROR(msg) NEG_LOG(::negotiator::LogLevel::kError, msg)
+
+}  // namespace negotiator

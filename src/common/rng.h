@@ -1,0 +1,36 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// xoshiro256** with SplitMix64 seeding: fast, high quality, and fully
+// reproducible across platforms (unlike std::default_random_engine).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::int64_t next_below(std::int64_t bound);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fork an independent, reproducible child stream.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace negotiator

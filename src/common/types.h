@@ -1,0 +1,37 @@
+// Fundamental identifiers and quantities shared by every module.
+//
+// All simulated time is kept in integer nanoseconds (Nanos). The paper's
+// smallest time constants (10 ns guardbands) are comfortably representable,
+// and 63-bit nanoseconds cover ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace negotiator {
+
+/// Simulated time in nanoseconds.
+using Nanos = std::int64_t;
+
+/// Data volume in bytes.
+using Bytes = std::int64_t;
+
+/// Index of a top-of-rack switch, in [0, num_tors).
+using TorId = std::int32_t;
+
+/// Index of a ToR uplink port, in [0, ports_per_tor).
+using PortId = std::int32_t;
+
+/// Unique flow identifier, assigned by the workload generator.
+using FlowId = std::int64_t;
+
+inline constexpr TorId kInvalidTor = -1;
+inline constexpr PortId kInvalidPort = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+inline constexpr Nanos kNeverNs = std::numeric_limits<Nanos>::max();
+
+/// One microsecond / one millisecond in Nanos, for readable literals.
+inline constexpr Nanos kMicro = 1'000;
+inline constexpr Nanos kMilli = 1'000'000;
+
+}  // namespace negotiator

@@ -1,0 +1,41 @@
+// Rate/size unit helpers. Link rates are stored in bytes-per-nanosecond so
+// that "bytes transmissible in a slot" is a single multiply.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+/// Link rate. 100 Gbps == 12.5 bytes/ns.
+struct Rate {
+  double bytes_per_ns{0.0};
+
+  static constexpr Rate from_gbps(double gbps) { return Rate{gbps / 8.0}; }
+  constexpr double gbps() const { return bytes_per_ns * 8.0; }
+
+  /// Whole bytes transmissible in `duration` at this rate (floor).
+  constexpr Bytes bytes_in(Nanos duration) const {
+    return static_cast<Bytes>(bytes_per_ns * static_cast<double>(duration));
+  }
+
+  /// Time needed to push `n` bytes onto the wire (ceil).
+  Nanos time_for(Bytes n) const {
+    return static_cast<Nanos>(
+        std::ceil(static_cast<double>(n) / bytes_per_ns));
+  }
+
+  friend constexpr bool operator==(Rate a, Rate b) {
+    return a.bytes_per_ns == b.bytes_per_ns;
+  }
+};
+
+inline constexpr Bytes operator""_KB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1000;
+}
+inline constexpr Bytes operator""_MB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1000 * 1000;
+}
+
+}  // namespace negotiator

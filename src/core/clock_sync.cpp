@@ -1,0 +1,58 @@
+#include "core/clock_sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+ClockSyncModel::ClockSyncModel(int num_tors, const ClockSyncConfig& config,
+                               Rng rng)
+    : config_(config) {
+  NEG_ASSERT(num_tors >= 1, "need >= 1 ToR");
+  NEG_ASSERT(config.drift_ppm >= 0, "drift must be >= 0");
+  NEG_ASSERT(config.sync_error_ns >= 0, "sync error must be >= 0");
+  NEG_ASSERT(config.sync_interval_ns > 0, "sync interval must be positive");
+  drift_ppm_.reserve(static_cast<std::size_t>(num_tors));
+  for (int t = 0; t < num_tors; ++t) {
+    drift_ppm_.push_back((2.0 * rng.next_double() - 1.0) * config.drift_ppm);
+  }
+}
+
+double ClockSyncModel::drift_rate_ppm(TorId tor) const {
+  return drift_ppm_[static_cast<std::size_t>(tor)];
+}
+
+double ClockSyncModel::offset_ns(TorId tor, Nanos elapsed) const {
+  NEG_ASSERT(elapsed >= 0, "elapsed must be >= 0");
+  const double drift =
+      drift_ppm_[static_cast<std::size_t>(tor)] * 1e-6 *
+      static_cast<double>(elapsed);
+  // Residual sync error keeps its sign with the drift direction in the
+  // worst case; model the bound, not a sample.
+  return drift + std::copysign(config_.sync_error_ns, drift == 0.0 ? 1.0
+                                                                   : drift);
+}
+
+double ClockSyncModel::worst_pairwise_skew_ns() const {
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t t = 0; t < drift_ppm_.size(); ++t) {
+    const double off =
+        offset_ns(static_cast<TorId>(t), config_.sync_interval_ns);
+    lo = std::min(lo, off);
+    hi = std::max(hi, off);
+  }
+  return hi - lo;
+}
+
+Nanos ClockSyncModel::required_guardband_ns() const {
+  return static_cast<Nanos>(
+      std::ceil(config_.tuning_delay_ns + worst_pairwise_skew_ns()));
+}
+
+bool ClockSyncModel::guardband_sufficient(Nanos guardband_ns) const {
+  return guardband_ns >= required_guardband_ns();
+}
+
+}  // namespace negotiator

@@ -1,0 +1,63 @@
+// Time synchronization model (§3.6.3).
+//
+// ToRs run free-running oscillators that drift (tens of ppm); they
+// resynchronize to a primary clock once per epoch using the round-robin
+// connections of the predefined phase (as in Sirius, which reaches
+// picosecond errors this way). Between synchronizations the clocks drift
+// apart again; the guardband before each reconfiguration must absorb the
+// worst-case pairwise offset plus the laser tuning delay, or slots overlap
+// and bits are lost.
+//
+// The model answers the engineering question behind the paper's 10 ns
+// guardband: given drift rates, sync error and tuning delay, how small can
+// the guardband be?
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+struct ClockSyncConfig {
+  /// Oscillator drift magnitude; each ToR gets a fixed rate uniformly in
+  /// [-drift_ppm, +drift_ppm]. Commodity oscillators: ~10-50 ppm.
+  double drift_ppm{25.0};
+  /// Residual error right after a synchronization exchange; Sirius-style
+  /// in-band sync reaches picoseconds, conservative default 0.1 ns.
+  double sync_error_ns{0.1};
+  /// Interval between synchronizations (one predefined phase per epoch).
+  Nanos sync_interval_ns{3'660};
+  /// Laser tuning + CDR lock time ([4]: under 10 ns with caching).
+  double tuning_delay_ns{5.0};
+};
+
+class ClockSyncModel {
+ public:
+  ClockSyncModel(int num_tors, const ClockSyncConfig& config, Rng rng);
+
+  /// Offset of `tor`'s local clock from true time, `elapsed` ns after its
+  /// last synchronization.
+  double offset_ns(TorId tor, Nanos elapsed) const;
+
+  /// Worst-case |offset_a - offset_b| over all pairs at the end of a sync
+  /// interval — what the guardband must absorb on top of tuning delay.
+  double worst_pairwise_skew_ns() const;
+
+  /// Smallest guardband (ns, rounded up) that keeps all slots aligned:
+  /// tuning delay + worst-case pairwise skew.
+  Nanos required_guardband_ns() const;
+
+  /// True when `guardband_ns` suffices for this deployment.
+  bool guardband_sufficient(Nanos guardband_ns) const;
+
+  const ClockSyncConfig& config() const { return config_; }
+  double drift_rate_ppm(TorId tor) const;
+
+ private:
+  ClockSyncConfig config_;
+  std::vector<double> drift_ppm_;  // signed, per ToR
+};
+
+}  // namespace negotiator

@@ -1,0 +1,60 @@
+// Link-failure detection and exclusion (§3.6.1).
+//
+// Every predefined-phase slot carries at least a dummy message, so each
+// direction of each port is observed many times per epoch. A run of
+// `threshold` consecutive dark observations on an rx port flags an ingress
+// failure; a run of consecutive undelivered-feedback observations on a tx
+// port flags an egress failure. Detections made during an epoch are
+// "broadcast" at its end and take effect (excluding the port from
+// scheduling) from the next epoch; recovery is detected symmetrically when
+// light returns and the port is re-included.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+class FaultPlane {
+ public:
+  FaultPlane(int num_tors, int ports_per_tor, int threshold = 8);
+
+  /// Receiver-side observation: did (dst, rx) see light this slot?
+  void observe_ingress(TorId dst, PortId rx, bool received);
+
+  /// Sender-side feedback: was the last transmission on (src, tx)
+  /// delivered? (The paper carries this feedback in reverse-direction dummy
+  /// messages; we model it with the detection threshold absorbing the lag.)
+  void observe_egress(TorId src, PortId tx, bool delivered);
+
+  /// Epoch boundary: applies newly confirmed detections/recoveries.
+  void end_epoch();
+
+  /// Exclusion state known network-wide (post-broadcast).
+  bool tx_excluded(TorId tor, PortId port) const;
+  bool rx_excluded(TorId tor, PortId port) const;
+
+  int excluded_count() const { return excluded_count_; }
+
+ private:
+  struct Dir {
+    int miss_streak{0};
+    int hit_streak{0};
+    bool excluded{false};
+    bool pending_exclude{false};
+    bool pending_include{false};
+  };
+  Dir& at(std::vector<Dir>& v, TorId tor, PortId port);
+  const Dir& at(const std::vector<Dir>& v, TorId tor, PortId port) const;
+  void observe(std::vector<Dir>& v, TorId tor, PortId port, bool ok);
+
+  int num_tors_;
+  int ports_;
+  int threshold_;
+  std::vector<Dir> ingress_;
+  std::vector<Dir> egress_;
+  int excluded_count_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,206 @@
+#include "core/matching.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+MatchingEngine::MatchingEngine(const FlatTopology& topo,
+                               SelectionPolicy policy, Rng& rng)
+    : topo_(topo), policy_(policy) {
+  const int n = topo_.num_tors();
+  const int s = topo_.ports_per_tor();
+  if (topo_.kind() == TopologyKind::kParallel) {
+    grant_rings_.reserve(static_cast<std::size_t>(n));
+    for (TorId d = 0; d < n; ++d) {
+      grant_rings_.emplace_back(topo_.rx_sources(d, 0), rng);
+    }
+  } else {
+    grant_rings_.reserve(static_cast<std::size_t>(n) * s);
+    for (TorId d = 0; d < n; ++d) {
+      for (PortId p = 0; p < s; ++p) {
+        grant_rings_.emplace_back(topo_.rx_sources(d, p), rng);
+      }
+    }
+  }
+  accept_rings_.reserve(static_cast<std::size_t>(n) * s);
+  for (TorId t = 0; t < n; ++t) {
+    for (PortId p = 0; p < s; ++p) {
+      accept_rings_.emplace_back(topo_.tx_destinations(t, p), rng);
+    }
+  }
+}
+
+RoundRobinRing& MatchingEngine::grant_ring(TorId dst, PortId rx) {
+  if (topo_.kind() == TopologyKind::kParallel) {
+    return grant_rings_[static_cast<std::size_t>(dst)];
+  }
+  return grant_rings_[static_cast<std::size_t>(dst) * topo_.ports_per_tor() +
+                      rx];
+}
+
+RoundRobinRing& MatchingEngine::accept_ring(TorId src, PortId tx) {
+  return accept_rings_[static_cast<std::size_t>(src) * topo_.ports_per_tor() +
+                       tx];
+}
+
+MatchingEngine::GrantResult MatchingEngine::grant(
+    TorId dst, const std::vector<RequestMsg>& requests,
+    const std::vector<bool>& rx_eligible, Bytes epoch_capacity) {
+  const int ports = topo_.ports_per_tor();
+  NEG_ASSERT(static_cast<int>(rx_eligible.size()) == ports,
+             "rx_eligible size mismatch");
+  GrantResult out;
+  out.port_used.assign(static_cast<std::size_t>(ports), false);
+  if (requests.empty()) return out;
+
+  // Working copies of the per-requester metadata used by the policies.
+  struct Work {
+    TorId src;
+    Bytes remaining;      // kLargestSize
+    Nanos delay;          // kLongestDelay
+    bool granted_round;   // kLongestDelay round marker
+  };
+  std::vector<Work> work;
+  work.reserve(requests.size());
+  for (const RequestMsg& r : requests) {
+    NEG_ASSERT(r.src != dst, "self request");
+    work.push_back(Work{r.src, std::max<Bytes>(r.size, 1), r.weighted_delay,
+                        false});
+  }
+
+  auto eligible_for_port = [&](TorId src, PortId p) {
+    if (topo_.kind() == TopologyKind::kParallel) return true;
+    // Thin-clos: rx port p only hears the sources of group p.
+    return topo_.rx_port(src, topo_.fixed_tx_port(src, dst), dst) == p;
+  };
+
+  for (PortId p = 0; p < ports; ++p) {
+    if (!rx_eligible[static_cast<std::size_t>(p)]) continue;
+    Work* chosen = nullptr;
+    switch (policy_) {
+      case SelectionPolicy::kRoundRobin: {
+        const TorId picked = grant_ring(dst, p).pick([&](TorId member) {
+          if (!eligible_for_port(member, p)) return false;
+          for (const Work& w : work) {
+            if (w.src == member) return true;
+          }
+          return false;
+        });
+        if (picked != kInvalidTor) {
+          for (Work& w : work) {
+            if (w.src == picked) {
+              chosen = &w;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case SelectionPolicy::kLargestSize: {
+        for (Work& w : work) {
+          if (w.remaining <= 0 || !eligible_for_port(w.src, p)) continue;
+          if (chosen == nullptr || w.remaining > chosen->remaining) {
+            chosen = &w;
+          }
+        }
+        if (chosen != nullptr) {
+          chosen->remaining -= std::max<Bytes>(epoch_capacity, 1);
+        }
+        break;
+      }
+      case SelectionPolicy::kLongestDelay: {
+        auto pick_round = [&]() -> Work* {
+          Work* best = nullptr;
+          for (Work& w : work) {
+            if (w.granted_round || !eligible_for_port(w.src, p)) continue;
+            if (best == nullptr || w.delay > best->delay) best = &w;
+          }
+          return best;
+        };
+        chosen = pick_round();
+        if (chosen == nullptr) {
+          // Everyone reachable from this port was granted once: start a new
+          // round so spare ports still get used.
+          for (Work& w : work) w.granted_round = false;
+          chosen = pick_round();
+        }
+        if (chosen != nullptr) chosen->granted_round = true;
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;
+    GrantMsg g;
+    g.dst = dst;
+    g.rx_port = p;
+    g.weighted_delay = chosen->delay;
+    out.grants.emplace_back(chosen->src, g);
+    out.port_used[static_cast<std::size_t>(p)] = true;
+  }
+  return out;
+}
+
+MatchingEngine::AcceptResult MatchingEngine::accept(
+    TorId src, const std::vector<GrantMsg>& grants,
+    const std::vector<bool>& tx_eligible) {
+  const int ports = topo_.ports_per_tor();
+  NEG_ASSERT(static_cast<int>(tx_eligible.size()) == ports,
+             "tx_eligible size mismatch");
+  AcceptResult out;
+  out.port_used.assign(static_cast<std::size_t>(ports), false);
+  if (grants.empty()) return out;
+
+  // Group the grants by the tx port they pin.
+  std::vector<std::vector<const GrantMsg*>> by_port(
+      static_cast<std::size_t>(ports));
+  for (const GrantMsg& g : grants) {
+    const PortId tx = topo_.kind() == TopologyKind::kParallel
+                          ? g.rx_port
+                          : topo_.fixed_tx_port(src, g.dst);
+    NEG_ASSERT(tx >= 0 && tx < ports, "grant pins an invalid tx port");
+    by_port[static_cast<std::size_t>(tx)].push_back(&g);
+  }
+
+  for (PortId p = 0; p < ports; ++p) {
+    if (!tx_eligible[static_cast<std::size_t>(p)]) continue;
+    const auto& candidates = by_port[static_cast<std::size_t>(p)];
+    if (candidates.empty()) continue;
+    const GrantMsg* chosen = nullptr;
+    if (policy_ == SelectionPolicy::kLongestDelay) {
+      for (const GrantMsg* g : candidates) {
+        if (chosen == nullptr || g->weighted_delay > chosen->weighted_delay) {
+          chosen = g;
+        }
+      }
+    } else {
+      // Ring-based pick for both kRoundRobin and kLargestSize (the source
+      // has no size metadata in grants; fairness is the sensible default).
+      const TorId picked = accept_ring(src, p).pick([&](TorId member) {
+        for (const GrantMsg* g : candidates) {
+          if (g->dst == member) return true;
+        }
+        return false;
+      });
+      if (picked != kInvalidTor) {
+        for (const GrantMsg* g : candidates) {
+          if (g->dst == picked) {
+            chosen = g;
+            break;
+          }
+        }
+      }
+    }
+    if (chosen == nullptr) continue;
+    Match m;
+    m.src = src;
+    m.tx_port = p;
+    m.dst = chosen->dst;
+    m.rx_port = chosen->rx_port;
+    out.matches.push_back(m);
+    out.port_used[static_cast<std::size_t>(p)] = true;
+  }
+  return out;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,60 @@
+// Scheduling messages exchanged in the predefined phase (§3.2, Fig. 3).
+//
+// Base NegotiaToR requests are binary — the extra fields exist only for the
+// appendix variants (informative requests, selective relay, ProjecToR) and
+// stay zero otherwise.
+#pragma once
+
+#include "common/types.h"
+
+namespace negotiator {
+
+struct RequestMsg {
+  TorId src{kInvalidTor};
+  /// A.2.3 data-size variant: aggregated per-destination queue size.
+  Bytes size{0};
+  /// A.2.3 HoL variant / A.2.5 ProjecToR: weighted waiting delay.
+  Nanos weighted_delay{0};
+  /// A.2.5 ProjecToR: requests are bound to a tx port ahead of time.
+  PortId tx_port{kInvalidPort};
+  /// A.2.4 stateful variant: bytes newly arrived since the last request.
+  Bytes newly_arrived{0};
+  /// A.2.2 selective relay: request to relay `relay_volume` bytes bound for
+  /// `relay_final_dst` through the receiving ToR.
+  bool relay{false};
+  TorId relay_final_dst{kInvalidTor};
+  Bytes relay_volume{0};
+};
+
+struct GrantMsg {
+  TorId dst{kInvalidTor};
+  PortId rx_port{kInvalidPort};
+  Nanos weighted_delay{0};
+  bool relay{false};
+  TorId relay_final_dst{kInvalidTor};
+  Bytes relay_volume{0};
+};
+
+struct AcceptMsg {
+  TorId src{kInvalidTor};  // the accepting source
+  TorId dst{kInvalidTor};
+  PortId tx_port{kInvalidPort};
+  PortId rx_port{kInvalidPort};
+  bool accepted{true};  // stateful variant also reports rejections
+};
+
+/// A non-conflicting source-port-to-destination assignment for one epoch's
+/// scheduled phase.
+struct Match {
+  TorId src{kInvalidTor};
+  PortId tx_port{kInvalidPort};
+  TorId dst{kInvalidTor};
+  PortId rx_port{kInvalidPort};
+  /// Selective relay first hop: after direct data, pull elephant bytes
+  /// bound for relay_final_dst (up to relay_volume) through this link.
+  bool relay{false};
+  TorId relay_final_dst{kInvalidTor};
+  Bytes relay_volume{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,209 @@
+#include "core/negotiator_scheduler.h"
+
+#include "common/assert.h"
+#include "core/variants/centralized.h"
+#include "core/variants/informative.h"
+#include "core/variants/iterative.h"
+#include "core/variants/projector.h"
+#include "core/variants/selective_relay.h"
+#include "core/variants/stateful.h"
+
+namespace negotiator {
+
+NegotiatorScheduler::NegotiatorScheduler(const NetworkConfig& config,
+                                         const FlatTopology& topo, Rng rng)
+    : config_(config),
+      topo_(topo),
+      matching_(topo, informative_policy(config.scheduler), rng),
+      rng_(rng.fork()),
+      out_(static_cast<std::size_t>(topo.num_tors()) * topo.num_tors()),
+      inbox_requests_(static_cast<std::size_t>(topo.num_tors())),
+      inbox_grants_(static_cast<std::size_t>(topo.num_tors())),
+      inbox_accepts_(static_cast<std::size_t>(topo.num_tors())) {}
+
+NegotiatorScheduler::PairOut& NegotiatorScheduler::outbox(TorId from,
+                                                          TorId to) {
+  NEG_ASSERT(from != to, "no self messages");
+  PairOut& entry =
+      out_[static_cast<std::size_t>(from) * topo_.num_tors() + to];
+  if (entry.stamp != epoch_) {
+    entry.stamp = epoch_;
+    entry.has_request = entry.has_accept = false;
+    entry.grants.clear();
+    entry.relay_requests.clear();
+  }
+  return entry;
+}
+
+Bytes NegotiatorScheduler::request_threshold_bytes() const {
+  if (!config_.piggyback) return 0;
+  return static_cast<Bytes>(config_.request_threshold_packets) *
+         config_.piggyback_payload_bytes();
+}
+
+Bytes NegotiatorScheduler::epoch_capacity_bytes() const {
+  return static_cast<Bytes>(config_.epoch.scheduled_slots) *
+         config_.scheduled_payload_bytes();
+}
+
+void NegotiatorScheduler::clear_inboxes() {
+  for (auto& v : inbox_requests_) v.clear();
+  for (auto& v : inbox_grants_) v.clear();
+  for (auto& v : inbox_accepts_) v.clear();
+}
+
+void NegotiatorScheduler::begin_epoch(std::int64_t epoch, Nanos now,
+                                      const DemandView& demand,
+                                      const FaultPlane& faults) {
+  epoch_ = epoch;
+  now_ = now;
+  matches_.clear();
+  epoch_grants_ = 0;
+  epoch_accepts_ = 0;
+
+  compute_accepts(demand, faults);     // grants of e-1 -> matches of e
+  consume_accept_inbox(demand);        // stateful reconciliation
+  compute_grants(demand, faults);      // requests of e-1 -> grants of e
+  clear_inboxes();
+  sample_requests(demand, faults);     // queue state now -> requests of e
+}
+
+void NegotiatorScheduler::compute_accepts(const DemandView& /*demand*/,
+                                          const FaultPlane& faults) {
+  const int ports = topo_.ports_per_tor();
+  std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
+  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+    const auto& grants = inbox_grants_[static_cast<std::size_t>(s)];
+    if (grants.empty()) continue;
+    for (PortId p = 0; p < ports; ++p) {
+      tx_eligible[static_cast<std::size_t>(p)] = !faults.tx_excluded(s, p);
+    }
+    auto result = matching_.accept(s, grants, tx_eligible);
+    epoch_accepts_ += result.matches.size();
+    for (const Match& m : result.matches) {
+      matches_.push_back(m);
+      AcceptMsg a;
+      a.src = s;
+      a.dst = m.dst;
+      a.tx_port = m.tx_port;
+      a.rx_port = m.rx_port;
+      a.accepted = true;
+      outbox(s, m.dst).has_accept = true;
+      outbox(s, m.dst).accept = a;
+    }
+    // Rejection notices for unaccepted grants (consumed by the stateful
+    // variant's matrix reconciliation; harmless otherwise). At most one
+    // notice per destination.
+    for (const GrantMsg& g : grants) {
+      bool accepted = false;
+      for (const Match& m : result.matches) {
+        if (m.dst == g.dst && m.rx_port == g.rx_port) {
+          accepted = true;
+          break;
+        }
+      }
+      if (accepted) continue;
+      PairOut& entry = outbox(s, g.dst);
+      if (entry.has_accept) continue;  // an acceptance to g.dst dominates
+      AcceptMsg a;
+      a.src = s;
+      a.dst = g.dst;
+      a.rx_port = g.rx_port;
+      a.accepted = false;
+      entry.has_accept = true;
+      entry.accept = a;
+    }
+  }
+}
+
+void NegotiatorScheduler::consume_accept_inbox(const DemandView&) {}
+
+void NegotiatorScheduler::compute_grants(const DemandView& demand,
+                                         const FaultPlane& faults) {
+  const int ports = topo_.ports_per_tor();
+  std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
+  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    if (requests.empty()) continue;
+    // §3.6.5: a destination whose host-facing buffer is full withholds
+    // grants until it drains.
+    if (demand.rx_paused(d)) continue;
+    for (PortId p = 0; p < ports; ++p) {
+      rx_eligible[static_cast<std::size_t>(p)] = !faults.rx_excluded(d, p);
+    }
+    auto result =
+        matching_.grant(d, requests, rx_eligible, epoch_capacity_bytes());
+    epoch_grants_ += result.grants.size();
+    for (auto& [src, g] : result.grants) {
+      outbox(d, src).grants.push_back(g);
+    }
+  }
+}
+
+void NegotiatorScheduler::sample_requests(const DemandView& demand,
+                                          const FaultPlane& /*faults*/) {
+  const Bytes threshold = request_threshold_bytes();
+  const bool want_delay =
+      matching_.policy() == SelectionPolicy::kLongestDelay;
+  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+    for (TorId d : demand.active_destinations(s)) {
+      const Bytes pending = demand.pending_bytes(s, d);
+      if (pending <= threshold) continue;
+      RequestMsg r;
+      r.src = s;
+      r.size = pending;
+      if (want_delay) {
+        r.weighted_delay =
+            demand.weighted_hol_delay(s, d, now_, config_.variant.hol_alpha);
+      }
+      PairOut& entry = outbox(s, d);
+      entry.has_request = true;
+      entry.request = r;
+    }
+  }
+}
+
+void NegotiatorScheduler::deliver_pair(TorId src, TorId dst, bool ok) {
+  PairOut& entry =
+      out_[static_cast<std::size_t>(src) * topo_.num_tors() + dst];
+  if (entry.stamp != epoch_) return;
+  if (!ok) return;
+  if (entry.has_request) {
+    inbox_requests_[static_cast<std::size_t>(dst)].push_back(entry.request);
+  }
+  for (const RequestMsg& r : entry.relay_requests) {
+    inbox_requests_[static_cast<std::size_t>(dst)].push_back(r);
+  }
+  for (const GrantMsg& g : entry.grants) {
+    inbox_grants_[static_cast<std::size_t>(dst)].push_back(g);
+  }
+  if (entry.has_accept) {
+    inbox_accepts_[static_cast<std::size_t>(dst)].push_back(entry.accept);
+  }
+}
+
+std::unique_ptr<NegotiatorScheduler> make_negotiator_scheduler(
+    const NetworkConfig& config, const FlatTopology& topo, Rng rng) {
+  switch (config.scheduler) {
+    case SchedulerKind::kNegotiator:
+    case SchedulerKind::kNegotiatorInformativeSize:
+    case SchedulerKind::kNegotiatorInformativeHol:
+      return std::make_unique<NegotiatorScheduler>(config, topo, rng);
+    case SchedulerKind::kNegotiatorIterative:
+      return std::make_unique<IterativeScheduler>(config, topo, rng);
+    case SchedulerKind::kNegotiatorStateful:
+      return std::make_unique<StatefulScheduler>(config, topo, rng);
+    case SchedulerKind::kNegotiatorSelectiveRelay:
+      return std::make_unique<SelectiveRelayScheduler>(config, topo, rng);
+    case SchedulerKind::kProjector:
+      return std::make_unique<ProjectorScheduler>(config, topo, rng);
+    case SchedulerKind::kCentralized:
+      return std::make_unique<CentralizedScheduler>(config, topo, rng);
+    case SchedulerKind::kOblivious:
+      break;
+  }
+  NEG_ASSERT(false, "kOblivious is not a NegotiatorScheduler");
+  return nullptr;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,116 @@
+// The NegotiaToR control plane (§3.2-§3.3): pipelined REQUEST / GRANT /
+// ACCEPT over the in-band predefined phase.
+//
+// Per Fig. 4, epoch n's predefined phase carries request_n, grant_{n-1} and
+// accept_{n-2}. Operationally, at the *start* of epoch e a ToR:
+//   1. computes ACCEPTs from the grants delivered during epoch e-1 — these
+//      become the matching used in epoch e's scheduled phase;
+//   2. computes GRANTs from the requests delivered during epoch e-1;
+//   3. samples its per-destination queues and emits new requests.
+// All three message kinds are then carried by epoch e's predefined slots
+// (deliver_pair), subject to link health. The minimum scheduling delay is
+// therefore ~2 epochs, matching §3.3.1.
+//
+// Variants override the protected hooks; the base class implements plain
+// NegotiaToR Matching with binary requests and, through the selection
+// policy, the A.2.3 informative-request variants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/demand_view.h"
+#include "core/fault_detector.h"
+#include "core/matching.h"
+#include "core/messages.h"
+#include "topo/topology.h"
+
+namespace negotiator {
+
+class NegotiatorScheduler {
+ public:
+  NegotiatorScheduler(const NetworkConfig& config, const FlatTopology& topo,
+                      Rng rng);
+  virtual ~NegotiatorScheduler() = default;
+
+  NegotiatorScheduler(const NegotiatorScheduler&) = delete;
+  NegotiatorScheduler& operator=(const NegotiatorScheduler&) = delete;
+
+  /// Runs the pipeline stages for epoch `epoch` (see header comment).
+  virtual void begin_epoch(std::int64_t epoch, Nanos now,
+                           const DemandView& demand, const FaultPlane& faults);
+
+  /// Predefined-phase exchange for pair (src -> dst). When `ok` is false
+  /// (link failure) the queued messages are lost.
+  void deliver_pair(TorId src, TorId dst, bool ok);
+
+  /// Matching for this epoch's scheduled phase.
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Grants issued / matches accepted this epoch (Fig. 14 match ratio;
+  /// accepts at epoch e answer the grants of epoch e-1).
+  std::size_t epoch_grants() const { return epoch_grants_; }
+  std::size_t epoch_accepts() const { return epoch_accepts_; }
+
+ protected:
+  /// Per-pair outgoing messages for the current epoch, stamp-invalidated
+  /// instead of cleared (O(#messages) per epoch, not O(N^2)). A pair can
+  /// carry several grants in one epoch: in the parallel network a
+  /// destination may grant multiple rx ports to the same source (Fig. 3a).
+  struct PairOut {
+    std::int64_t stamp{-1};
+    bool has_request{false};
+    bool has_accept{false};
+    RequestMsg request;
+    std::vector<GrantMsg> grants;
+    /// Selective-relay establishment requests (A.2.2); a pair can carry a
+    /// direct request and relay requests in the same epoch.
+    std::vector<RequestMsg> relay_requests;
+    AcceptMsg accept;
+  };
+  PairOut& outbox(TorId from, TorId to);
+
+  virtual void compute_accepts(const DemandView& demand,
+                               const FaultPlane& faults);
+  virtual void compute_grants(const DemandView& demand,
+                              const FaultPlane& faults);
+  virtual void sample_requests(const DemandView& demand,
+                               const FaultPlane& faults);
+  /// Stateful-variant hook, runs before compute_grants.
+  virtual void consume_accept_inbox(const DemandView& demand);
+
+  /// Request threshold in bytes (§3.4.1: three piggyback payloads when
+  /// piggybacking is on, otherwise any pending byte).
+  Bytes request_threshold_bytes() const;
+  /// Bytes one match can move during one scheduled phase.
+  Bytes epoch_capacity_bytes() const;
+
+  void clear_inboxes();
+
+  const NetworkConfig& config_;
+  const FlatTopology& topo_;
+  MatchingEngine matching_;
+  Rng rng_;
+
+  std::int64_t epoch_{-1};
+  Nanos now_{0};
+  std::vector<Match> matches_;
+  std::size_t epoch_grants_{0};
+  std::size_t epoch_accepts_{0};
+
+  std::vector<PairOut> out_;                        // N*N, stamped
+  std::vector<std::vector<RequestMsg>> inbox_requests_;  // by destination
+  std::vector<std::vector<GrantMsg>> inbox_grants_;      // by source
+  std::vector<std::vector<AcceptMsg>> inbox_accepts_;    // by destination
+};
+
+/// Builds the scheduler variant requested by `config.scheduler`.
+/// (kOblivious is a different fabric, not a NegotiatorScheduler.)
+std::unique_ptr<NegotiatorScheduler> make_negotiator_scheduler(
+    const NetworkConfig& config, const FlatTopology& topo, Rng rng);
+
+}  // namespace negotiator

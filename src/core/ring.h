@@ -1,0 +1,52 @@
+// Round-robin priority ring (§3.2.1), the arbitration primitive borrowed
+// from RRM [31]: the pointer marks the highest-priority member, priority
+// falls off clockwise, and after a pick the pointer moves just past the
+// picked member ("prioritize the source ToR that's least recently
+// granted"). Pointer updates are unconditional, as in RRM (not iSLIP).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+class RoundRobinRing {
+ public:
+  /// `members` is the fixed clockwise order; the pointer starts at a random
+  /// position ("randomly initialize rings", Algorithm 1).
+  RoundRobinRing(std::vector<TorId> members, Rng& rng)
+      : members_(std::move(members)) {
+    NEG_ASSERT(!members_.empty(), "ring needs members");
+    pointer_ = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::int64_t>(members_.size())));
+  }
+
+  /// Picks the first eligible member at or after the pointer, advances the
+  /// pointer past it, and returns it; kInvalidTor when nobody is eligible.
+  template <typename Eligible>
+  TorId pick(Eligible&& eligible) {
+    const std::size_t n = members_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t idx = (pointer_ + step) % n;
+      if (eligible(members_[idx])) {
+        pointer_ = (idx + 1) % n;
+        return members_[idx];
+      }
+    }
+    return kInvalidTor;
+  }
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<TorId>& members() const { return members_; }
+  std::size_t pointer() const { return pointer_; }
+
+ private:
+  std::vector<TorId> members_;
+  std::size_t pointer_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,40 @@
+// Centralized scheduling comparator (§2).
+//
+// The paper dismisses a centralized scheduler on practicality grounds ("a
+// centralized scheduler can do the job, but faces practicality concerns
+// because of the scheduler's limited scalability"); this comparator makes
+// the quality side of that trade measurable. A controller with a global
+// demand view computes a greedy maximal matching (sequential, round-robin
+// fairness over pairs) — strictly better matchings than the distributed
+// 63%-efficient NegotiaToR Matching — but the demand snapshot it acts on is
+// delayed by the same ~2-epoch control round trip (ToR -> controller ->
+// ToRs), so its schedules are exactly as stale.
+#pragma once
+
+#include <deque>
+
+#include "core/negotiator_scheduler.h"
+
+namespace negotiator {
+
+class CentralizedScheduler final : public NegotiatorScheduler {
+ public:
+  CentralizedScheduler(const NetworkConfig& config, const FlatTopology& topo,
+                       Rng rng);
+
+  void begin_epoch(std::int64_t epoch, Nanos now, const DemandView& demand,
+                   const FaultPlane& faults) override;
+
+ private:
+  /// Greedy maximal matching over the (stale) demand snapshot.
+  std::vector<Match> solve(const std::vector<std::pair<TorId, TorId>>& pairs,
+                           const FaultPlane& faults);
+
+  /// Demand snapshots in flight to/from the controller; front is the one
+  /// whose schedule applies this epoch.
+  std::deque<std::vector<std::pair<TorId, TorId>>> in_flight_;
+  /// Round-robin rotation over pairs for fairness across epochs.
+  std::size_t fairness_offset_{0};
+};
+
+}  // namespace negotiator

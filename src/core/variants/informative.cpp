@@ -1,0 +1,16 @@
+#include "core/variants/informative.h"
+
+namespace negotiator {
+
+SelectionPolicy informative_policy(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNegotiatorInformativeSize:
+      return SelectionPolicy::kLargestSize;
+    case SchedulerKind::kNegotiatorInformativeHol:
+      return SelectionPolicy::kLongestDelay;
+    default:
+      return SelectionPolicy::kRoundRobin;
+  }
+}
+
+}  // namespace negotiator

@@ -1,0 +1,26 @@
+// Informative requests (A.2.3).
+//
+// These variants do not change the pipeline at all — they only replace the
+// round-robin rings with priority selection driven by extra request
+// metadata:
+//   - data-size: requests carry the aggregated per-destination queue size;
+//     destinations grant ports to the largest backlog first (the working
+//     size is decremented by one epoch's capacity per granted port, so one
+//     elephant can absorb several ports).
+//   - HoL-delay: requests carry the weighted head-of-line waiting delay
+//     HoL = (1-alpha) * (HoL_q0 + HoL_q1)/2 + alpha * HoL_q2 (alpha=0.001
+//     performed best in the paper); longer-waiting pairs win.
+// The base NegotiatorScheduler implements both through MatchingEngine's
+// SelectionPolicy; this header maps SchedulerKind to the policy.
+#pragma once
+
+#include "common/config.h"
+#include "core/matching.h"
+
+namespace negotiator {
+
+/// Selection policy implied by the scheduler kind (round-robin for
+/// everything except the two informative variants).
+SelectionPolicy informative_policy(SchedulerKind kind);
+
+}  // namespace negotiator

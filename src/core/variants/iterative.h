@@ -1,0 +1,51 @@
+// Iterative NegotiaToR Matching (A.2.1).
+//
+// A scheduling process runs k rounds of REQUEST/GRANT/ACCEPT instead of
+// one; unmatched tx/rx ports are re-offered each round and the matches of
+// all rounds accumulate. Each extra round costs three epochs of scheduling
+// delay, so the matching a process finally applies is computed from demand
+// snapshots up to 3k-1 epochs old — the staleness that makes iteration a
+// poor trade in this setting. Processes start every epoch and overlap in a
+// pipeline, exactly like the base algorithm.
+//
+// Control messages for this variant are tracked inside the process state
+// rather than through the per-pair mailboxes; link-failure message loss is
+// not modelled here (the variant is only exercised by the failure-free
+// Fig. 15 comparison).
+#pragma once
+
+#include <deque>
+
+#include "core/negotiator_scheduler.h"
+
+namespace negotiator {
+
+class IterativeScheduler final : public NegotiatorScheduler {
+ public:
+  IterativeScheduler(const NetworkConfig& config, const FlatTopology& topo,
+                     Rng rng);
+
+  void begin_epoch(std::int64_t epoch, Nanos now, const DemandView& demand,
+                   const FaultPlane& faults) override;
+
+ private:
+  struct Process {
+    std::int64_t start_epoch{0};
+    std::vector<Match> matches;
+    std::vector<bool> tx_used;  // [tor * ports + port]
+    std::vector<bool> rx_used;
+    std::vector<std::vector<RequestMsg>> requests_by_dst;
+    std::vector<std::vector<GrantMsg>> grants_by_src;
+  };
+
+  void stage_request(Process& p, int round, const DemandView& demand);
+  void stage_grant(Process& p, const FaultPlane& faults);
+  void stage_accept(Process& p, const FaultPlane& faults);
+
+  bool pair_has_free_tx(const Process& p, TorId src, TorId dst) const;
+
+  int iterations_;
+  std::deque<Process> processes_;
+};
+
+}  // namespace negotiator

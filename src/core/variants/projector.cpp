@@ -1,0 +1,102 @@
+#include "core/variants/projector.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+ProjectorScheduler::ProjectorScheduler(const NetworkConfig& config,
+                                       const FlatTopology& topo, Rng rng)
+    : NegotiatorScheduler(config, topo, rng),
+      next_port_(static_cast<std::size_t>(topo.num_tors()), 0) {}
+
+void ProjectorScheduler::sample_requests(const DemandView& demand,
+                                         const FaultPlane& faults) {
+  const Bytes threshold = request_threshold_bytes();
+  const int ports = topo_.ports_per_tor();
+  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+    for (TorId d : demand.active_destinations(s)) {
+      if (demand.pending_bytes(s, d) <= threshold) continue;
+      // Pre-bind the tx port: pinned on thin-clos, rotating otherwise.
+      PortId tx = topo_.fixed_tx_port(s, d);
+      if (tx == kInvalidPort) {
+        tx = next_port_[static_cast<std::size_t>(s)];
+        for (int tries = 0; tries < ports; ++tries) {
+          if (!faults.tx_excluded(s, tx)) break;
+          tx = static_cast<PortId>((tx + 1) % ports);
+        }
+        next_port_[static_cast<std::size_t>(s)] =
+            static_cast<PortId>((tx + 1) % ports);
+      }
+      const Nanos hol = demand.oldest_hol_enqueue(s, d);
+      RequestMsg r;
+      r.src = s;
+      r.tx_port = tx;
+      r.weighted_delay = hol == kNeverNs ? 0 : now_ - hol;
+      PairOut& entry = outbox(s, d);
+      entry.has_request = true;
+      entry.request = r;
+    }
+  }
+}
+
+void ProjectorScheduler::compute_grants(const DemandView& /*demand*/,
+                                        const FaultPlane& faults) {
+  const int ports = topo_.ports_per_tor();
+  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    if (requests.empty()) continue;
+    for (PortId p = 0; p < ports; ++p) {
+      if (faults.rx_excluded(d, p)) continue;
+      // Longest-waiting compatible request wins this rx port. A request
+      // bound to tx port q lands on rx port q (parallel network planes) or
+      // on the pinned rx port (thin-clos).
+      const RequestMsg* best = nullptr;
+      for (const RequestMsg& r : requests) {
+        const PortId rx = topo_.rx_port(r.src, r.tx_port, d);
+        if (rx != p) continue;
+        if (best == nullptr || r.weighted_delay > best->weighted_delay) {
+          best = &r;
+        }
+      }
+      if (best == nullptr) continue;
+      GrantMsg g;
+      g.dst = d;
+      g.rx_port = p;
+      g.weighted_delay = best->weighted_delay;
+      epoch_grants_ += 1;
+      outbox(d, best->src).grants.push_back(g);
+    }
+  }
+}
+
+void ProjectorScheduler::compute_accepts(const DemandView& /*demand*/,
+                                         const FaultPlane& faults) {
+  const int ports = topo_.ports_per_tor();
+  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+    const auto& grants = inbox_grants_[static_cast<std::size_t>(s)];
+    if (grants.empty()) continue;
+    for (PortId p = 0; p < ports; ++p) {
+      if (faults.tx_excluded(s, p)) continue;
+      const GrantMsg* best = nullptr;
+      for (const GrantMsg& g : grants) {
+        const PortId tx = topo_.kind() == TopologyKind::kParallel
+                              ? g.rx_port
+                              : topo_.fixed_tx_port(s, g.dst);
+        if (tx != p) continue;
+        if (best == nullptr || g.weighted_delay > best->weighted_delay) {
+          best = &g;
+        }
+      }
+      if (best == nullptr) continue;
+      Match m;
+      m.src = s;
+      m.tx_port = p;
+      m.dst = best->dst;
+      m.rx_port = best->rx_port;
+      matches_.push_back(m);
+      epoch_accepts_ += 1;
+    }
+  }
+}
+
+}  // namespace negotiator

@@ -1,0 +1,38 @@
+// ProjecToR-style scheduling transplanted onto NegotiaToR's fabric
+// (A.2.5). Differences from NegotiaToR Matching:
+//   - requests are per-port: the source pre-binds each request to a tx
+//     port (round-robin over its ports on the parallel network; pinned on
+//     thin-clos);
+//   - priority is the measured waiting delay of the head-of-line bundle at
+//     the source (a bundle being one epoch's worth of data), not a
+//     round-robin ring: destinations grant each rx port to the
+//     longest-waiting compatible request, sources accept the
+//     longest-waiting grant per port;
+//   - a single request/grant/accept round, as in the paper's comparison.
+// The piggybacking bypass and priority queues stay enabled, so the
+// comparison isolates the matching algorithm.
+#pragma once
+
+#include "core/negotiator_scheduler.h"
+
+namespace negotiator {
+
+class ProjectorScheduler final : public NegotiatorScheduler {
+ public:
+  ProjectorScheduler(const NetworkConfig& config, const FlatTopology& topo,
+                     Rng rng);
+
+ protected:
+  void sample_requests(const DemandView& demand,
+                       const FaultPlane& faults) override;
+  void compute_grants(const DemandView& demand,
+                      const FaultPlane& faults) override;
+  void compute_accepts(const DemandView& demand,
+                       const FaultPlane& faults) override;
+
+ private:
+  /// Next tx port each source will bind a request to (parallel network).
+  std::vector<PortId> next_port_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,26 @@
+// Random link-failure injection for the fault-tolerance experiments
+// (Fig. 10, Fig. 19).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/network.h"
+#include "topo/link_state.h"
+
+namespace negotiator {
+
+struct FailedLink {
+  TorId tor;
+  PortId port;
+  LinkDirection dir;
+};
+
+/// Fails `fraction` of all directed links (chosen uniformly without
+/// replacement) at `fail_at` and repairs them at `repair_at` (skip repair
+/// with repair_at == kNeverNs). Returns the affected links.
+std::vector<FailedLink> inject_random_failures(FabricSim& fabric,
+                                               double fraction, Nanos fail_at,
+                                               Nanos repair_at, Rng& rng);
+
+}  // namespace negotiator

@@ -1,0 +1,341 @@
+#include "engine/network.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "oblivious/oblivious_scheduler.h"
+#include "topo/topology_factory.h"
+
+namespace negotiator {
+
+// ---------------------------------------------------------------- FlowTable
+
+int FlowTable::add(const Flow& flow) {
+  NEG_ASSERT(flow.size > 0, "flow must carry data");
+  NEG_ASSERT(flow.src != flow.dst, "self flows not modelled");
+  states_.push_back(State{flow, 0, false});
+  return static_cast<int>(states_.size()) - 1;
+}
+
+const Flow& FlowTable::flow(int index) const {
+  return states_[static_cast<std::size_t>(index)].flow;
+}
+
+bool FlowTable::done(int index) const {
+  return states_[static_cast<std::size_t>(index)].done;
+}
+
+void FlowTable::credit(int index, Bytes bytes, Nanos arrival,
+                       FctRecorder& fct) {
+  State& s = states_[static_cast<std::size_t>(index)];
+  NEG_ASSERT(!s.done, "delivery to a completed flow");
+  s.delivered += bytes;
+  NEG_ASSERT(s.delivered <= s.flow.size, "over-delivery");
+  if (s.delivered == s.flow.size) {
+    s.done = true;
+    fct.record(FctSample{s.flow.id, s.flow.size, s.flow.arrival,
+                         arrival - s.flow.arrival, s.flow.group});
+  }
+}
+
+// --------------------------------------------------------- NegotiatorFabric
+
+NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
+                                   Nanos stats_window_ns)
+    : config_(config),
+      topo_(make_topology(config)),
+      schedule_(config.topology, config.num_tors, config.ports_per_tor),
+      timing_(config),
+      relay_enabled_(config.scheduler ==
+                     SchedulerKind::kNegotiatorSelectiveRelay),
+      goodput_(config.num_tors, stats_window_ns),
+      links_(config.num_tors, config.ports_per_tor),
+      faults_(config.num_tors, config.ports_per_tor),
+      arrived_(static_cast<std::size_t>(config.num_tors) * config.num_tors,
+               0) {
+  config_.validate();
+  Rng rng(config_.seed);
+  tors_.reserve(static_cast<std::size_t>(config_.num_tors));
+  for (TorId t = 0; t < config_.num_tors; ++t) {
+    tors_.emplace_back(t, config_.num_tors, config_.pias);
+  }
+  if (relay_enabled_) {
+    relay_.reserve(static_cast<std::size_t>(config_.num_tors));
+    for (TorId t = 0; t < config_.num_tors; ++t) {
+      relay_.emplace_back(config_.num_tors);
+    }
+  }
+  if (config_.host_plane.enabled) {
+    host_plane_ = std::make_unique<HostPlane>(
+        config_.num_tors, config_.host_rate(), config_.host_plane);
+    pause_advertised_.assign(static_cast<std::size_t>(config_.num_tors),
+                             false);
+  }
+  scheduler_ = make_negotiator_scheduler(config_, *topo_, rng.fork());
+}
+
+void NegotiatorFabric::add_flow(const Flow& flow) {
+  NEG_ASSERT(flow.arrival >= sim_.now(), "flow arrives in the past");
+  NEG_ASSERT(flow.src >= 0 && flow.src < config_.num_tors &&
+                 flow.dst >= 0 && flow.dst < config_.num_tors,
+             "flow endpoints out of range");
+  const int index = flow_table_.add(flow);
+  sim_.events().schedule(flow.arrival, [this, index](Nanos when) {
+    const Flow& f = flow_table_.flow(index);
+    // Queues carry the dense FlowTable index; the external id only appears
+    // in reported samples.
+    Flow queued = f;
+    queued.id = index;
+    tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, when);
+    arrived_[static_cast<std::size_t>(f.src) * config_.num_tors + f.dst] +=
+        f.size;
+  });
+}
+
+void NegotiatorFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
+                                           LinkDirection dir, bool fail) {
+  sim_.events().schedule(when, [this, tor, port, dir, fail](Nanos) {
+    if (fail) {
+      links_.fail(tor, port, dir);
+    } else {
+      links_.repair(tor, port, dir);
+    }
+  });
+}
+
+PortId NegotiatorFabric::rx_port_for(TorId src, PortId tx, TorId dst) const {
+  return topo_->rx_port(src, tx, dst);
+}
+
+void NegotiatorFabric::deliver_direct(int flow_index, TorId dst, Bytes bytes,
+                                      Nanos arrival) {
+  flow_table_.credit(flow_index, bytes, arrival, fct_);
+  goodput_.record_delivery(dst, bytes, arrival);
+  if (host_plane_) host_plane_->on_delivery(dst, bytes, arrival);
+}
+
+void NegotiatorFabric::run_until(Nanos t) {
+  while (timing_.epoch_start(epoch_) < t) run_epoch();
+  // The last epoch may have carried the clock past t already.
+  if (t > sim_.now()) sim_.advance_to(t);
+}
+
+void NegotiatorFabric::run_epoch() {
+  sim_.advance_to(timing_.epoch_start(epoch_));
+  if (host_plane_) {
+    // Pause bits ride the previous predefined phase's dummy messages; the
+    // epoch-start snapshot is what senders know this epoch.
+    for (TorId t = 0; t < config_.num_tors; ++t) {
+      pause_advertised_[static_cast<std::size_t>(t)] =
+          host_plane_->rx_paused(t, sim_.now());
+    }
+  }
+  scheduler_->begin_epoch(epoch_, sim_.now(), *this, faults_);
+
+  // Match ratio (Fig. 14): the accepts of epoch e answer the grants issued
+  // in epoch e-1.
+  if (prev_epoch_grants_ > 0) {
+    ratio_series_.push_back(static_cast<double>(scheduler_->epoch_accepts()) /
+                            static_cast<double>(prev_epoch_grants_));
+  }
+  prev_epoch_grants_ = scheduler_->epoch_grants();
+
+  run_predefined_phase();
+  run_scheduled_phase();
+  faults_.end_epoch();
+  ++epoch_;
+}
+
+void NegotiatorFabric::run_predefined_phase() {
+  // Stride-17 rotation: with 16 slots per port, a +1 step would keep a
+  // pair on the same physical link for 16 consecutive epochs, so a failed
+  // link would black the pair out for long stretches. A co-prime stride
+  // moves every pair to a different link every epoch (§3.6.1: "a pair of
+  // ToRs [exchanges] scheduling messages through multiple port-to-port
+  // links ... in subsequent epochs").
+  const int rotation =
+      config_.rotate_predefined_rule
+          ? static_cast<int>((epoch_ * 17) & 0x3fffffff)
+          : 0;
+  const Bytes payload = config_.piggyback_payload_bytes();
+  const Nanos prop = config_.propagation_delay_ns;
+  for (int slot = 0; slot < timing_.predefined_slots(); ++slot) {
+    sim_.advance_to(timing_.predefined_slot_start(epoch_, slot));
+    const Nanos data_end = timing_.predefined_slot_data_end(epoch_, slot);
+    for (TorId s = 0; s < config_.num_tors; ++s) {
+      TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
+      for (PortId p = 0; p < config_.ports_per_tor; ++p) {
+        const TorId d = schedule_.dst_of(s, p, slot, rotation);
+        if (d == kInvalidTor) continue;
+        const PortId rx = rx_port_for(s, p, d);
+        const bool up = links_.path_up(s, p, d, rx);
+        scheduler_->deliver_pair(s, d, up);
+        faults_.observe_ingress(d, rx, up);
+        faults_.observe_egress(s, p, up);
+        if (!config_.piggyback || tor.pending_to(d) == 0) continue;
+        if (host_plane_ && pause_advertised_[static_cast<std::size_t>(d)]) {
+          continue;  // §3.6.5: withhold data towards a paused receiver
+        }
+        if (up) {
+          auto pkt = tor.dequeue_packet(d, payload);
+          NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
+          ++piggyback_packets_;
+          deliver_direct(static_cast<int>(pkt->flow), d, pkt->bytes,
+                         data_end + prop);
+        } else if (!faults_.tx_excluded(s, p) && !faults_.rx_excluded(d, rx)) {
+          // Undetected failure: the packet is transmitted into a dark fibre
+          // and retransmitted by the upper layer — model as a wasted slot
+          // with the bytes back at the queue head.
+          auto pkt = tor.dequeue_packet(d, payload);
+          if (pkt) tor.requeue_front(d, *pkt);
+        }
+      }
+    }
+  }
+}
+
+void NegotiatorFabric::run_scheduled_phase() {
+  const Bytes payload = config_.scheduled_payload_bytes();
+  const Nanos prop = config_.propagation_delay_ns;
+
+  struct Active {
+    Match m;
+    Bytes relay_remaining;
+  };
+  std::vector<Active> active;
+  active.reserve(scheduler_->matches().size());
+  for (const Match& m : scheduler_->matches()) {
+    active.push_back(Active{m, m.relay ? m.relay_volume : 0});
+  }
+  total_matches_ += static_cast<std::int64_t>(active.size());
+  match_slots_offered_ += static_cast<std::int64_t>(active.size()) *
+                          timing_.scheduled_slots();
+
+  for (int slot = 0; slot < timing_.scheduled_slots(); ++slot) {
+    sim_.advance_to(timing_.scheduled_slot_start(epoch_, slot));
+    const Nanos arrival = timing_.scheduled_slot_end(epoch_, slot) + prop;
+    for (Active& a : active) {
+      const Match& m = a.m;
+      TorSwitch& tor = tors_[static_cast<std::size_t>(m.src)];
+      if (!links_.path_up(m.src, m.tx_port, m.dst, m.rx_port)) continue;
+      // 1. Direct data for the matched destination.
+      if (auto pkt = tor.dequeue_packet(m.dst, payload)) {
+        ++match_slots_used_;
+        deliver_direct(static_cast<int>(pkt->flow), m.dst, pkt->bytes,
+                       arrival);
+        continue;
+      }
+      // 2. Second-hop relayed data parked at this ToR for the destination.
+      if (relay_enabled_) {
+        if (auto chunk = relay_[static_cast<std::size_t>(m.src)]
+                             .dequeue_packet(m.dst, payload)) {
+          deliver_direct(static_cast<int>(chunk->flow), m.dst, chunk->bytes,
+                         arrival);
+          continue;
+        }
+      }
+      // 3. First-hop relay: push elephant bytes towards the intermediate.
+      if (m.relay && a.relay_remaining > 0) {
+        const Bytes cap = std::min(payload, a.relay_remaining);
+        if (auto pkt = tor.dequeue_elephant_packet(m.relay_final_dst, cap)) {
+          a.relay_remaining -= pkt->bytes;
+          goodput_.record_relay_reception(m.dst, pkt->bytes, arrival);
+          const TorId mid = m.dst;
+          const TorId final_dst = m.relay_final_dst;
+          const FlowId flow = pkt->flow;
+          const Bytes bytes = pkt->bytes;
+          sim_.events().schedule(arrival, [this, mid, final_dst, flow, bytes](
+                                              Nanos when) {
+            relay_[static_cast<std::size_t>(mid)].enqueue(final_dst, flow,
+                                                          bytes, when);
+          });
+        }
+      }
+      // Otherwise the link idles this slot: the cost of stateless
+      // scheduling when the queue emptied before the accept (§3.5).
+    }
+  }
+}
+
+Bytes NegotiatorFabric::total_backlog() const {
+  Bytes total = 0;
+  for (const TorSwitch& t : tors_) total += t.total_pending();
+  for (const RelayQueueSet& r : relay_) total += r.total_bytes();
+  return total;
+}
+
+// DemandView --------------------------------------------------------------
+
+Bytes NegotiatorFabric::pending_bytes(TorId src, TorId dst) const {
+  return tors_[static_cast<std::size_t>(src)].pending_to(dst);
+}
+
+Bytes NegotiatorFabric::elephant_bytes(TorId src, TorId dst) const {
+  const DestQueue& q = tors_[static_cast<std::size_t>(src)].queue_to(dst);
+  return q.bytes_at_level(q.levels() - 1);
+}
+
+Nanos NegotiatorFabric::weighted_hol_delay(TorId src, TorId dst, Nanos now,
+                                           double alpha) const {
+  return tors_[static_cast<std::size_t>(src)].queue_to(dst).weighted_hol_delay(
+      now, alpha);
+}
+
+Nanos NegotiatorFabric::oldest_hol_enqueue(TorId src, TorId dst) const {
+  const DestQueue& q = tors_[static_cast<std::size_t>(src)].queue_to(dst);
+  Nanos oldest = kNeverNs;
+  for (int level = 0; level < q.levels(); ++level) {
+    oldest = std::min(oldest, q.hol_enqueue_time(level));
+  }
+  return oldest;
+}
+
+Bytes NegotiatorFabric::cumulative_arrived(TorId src, TorId dst) const {
+  return arrived_[static_cast<std::size_t>(src) * config_.num_tors + dst];
+}
+
+Bytes NegotiatorFabric::relay_pending(TorId tor, TorId final_dst) const {
+  if (!relay_enabled_) return 0;
+  return relay_[static_cast<std::size_t>(tor)].bytes_for(final_dst);
+}
+
+Bytes NegotiatorFabric::relay_queue_total(TorId tor) const {
+  if (!relay_enabled_) return 0;
+  return relay_[static_cast<std::size_t>(tor)].total_bytes();
+}
+
+std::vector<TorId> NegotiatorFabric::relay_active_destinations(
+    TorId tor) const {
+  std::vector<TorId> out;
+  if (!relay_enabled_) return out;
+  const RelayQueueSet& r = relay_[static_cast<std::size_t>(tor)];
+  for (TorId d = 0; d < config_.num_tors; ++d) {
+    if (r.bytes_for(d) > 0) out.push_back(d);
+  }
+  return out;
+}
+
+const std::set<TorId>& NegotiatorFabric::active_destinations(
+    TorId src) const {
+  return tors_[static_cast<std::size_t>(src)].active_destinations();
+}
+
+bool NegotiatorFabric::rx_paused(TorId tor) const {
+  // Grant-time gating uses the destination's own (current) buffer state —
+  // the pause decision is local to the destination ToR.
+  if (!host_plane_) return false;
+  return host_plane_->rx_paused(tor, sim_.now());
+}
+
+// ------------------------------------------------------------- make_fabric
+
+std::unique_ptr<FabricSim> make_fabric(const NetworkConfig& config,
+                                       Nanos stats_window_ns) {
+  config.validate();
+  if (config.scheduler == SchedulerKind::kOblivious) {
+    return std::make_unique<ObliviousFabric>(config, stats_window_ns);
+  }
+  return std::make_unique<NegotiatorFabric>(config, stats_window_ns);
+}
+
+}  // namespace negotiator

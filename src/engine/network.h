@@ -1,0 +1,171 @@
+// The simulated fabric: epoch-driven execution of control plane, data
+// plane, and statistics. Two implementations share this interface — the
+// NegotiaToR fabric (two-phase epochs, §3.3) defined here and the
+// traffic-oblivious rotor fabric (Sirius-style baseline) in
+// oblivious/oblivious_scheduler.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "core/demand_view.h"
+#include "core/epoch.h"
+#include "core/fault_detector.h"
+#include "core/negotiator_scheduler.h"
+#include "sim/simulation.h"
+#include "stats/fct_recorder.h"
+#include "stats/goodput_meter.h"
+#include "topo/link_state.h"
+#include "topo/predefined_schedule.h"
+#include "topo/topology.h"
+#include "tor/host_plane.h"
+#include "tor/relay_queue.h"
+#include "tor/tor_switch.h"
+#include "workload/flow.h"
+
+namespace negotiator {
+
+/// Tracks per-flow delivery progress and closes FCT samples.
+class FlowTable {
+ public:
+  /// Registers a flow, returning its dense internal index.
+  int add(const Flow& flow);
+  const Flow& flow(int index) const;
+  /// Credits `bytes` arriving at the destination at `arrival`; records the
+  /// FCT sample when the flow completes.
+  void credit(int index, Bytes bytes, Nanos arrival, FctRecorder& fct);
+  std::size_t size() const { return states_.size(); }
+  bool done(int index) const;
+
+ private:
+  struct State {
+    Flow flow;
+    Bytes delivered{0};
+    bool done{false};
+  };
+  std::vector<State> states_;
+};
+
+class FabricSim {
+ public:
+  virtual ~FabricSim() = default;
+
+  /// Registers a flow arriving at `flow.arrival` (>= now).
+  virtual void add_flow(const Flow& flow) = 0;
+  void add_flows(const std::vector<Flow>& flows) {
+    for (const Flow& f : flows) add_flow(f);
+  }
+
+  /// Advances simulated time to `t` (whole epochs/slots are processed).
+  virtual void run_until(Nanos t) = 0;
+  virtual Nanos now() const = 0;
+
+  virtual FctRecorder& fct() = 0;
+  virtual GoodputMeter& goodput() = 0;
+  virtual LinkState& links() = 0;
+  virtual const NetworkConfig& config() const = 0;
+
+  /// Bytes still queued anywhere in the fabric.
+  virtual Bytes total_backlog() const = 0;
+
+  /// Per-epoch accepts/grants ratio (Fig. 14); empty for the oblivious
+  /// fabric, which has no matching step.
+  virtual std::vector<double> match_ratio_series() const { return {}; }
+
+  /// Schedules a link failure (fail=true) or repair at absolute time
+  /// `when`.
+  virtual void schedule_link_event(Nanos when, TorId tor, PortId port,
+                                   LinkDirection dir, bool fail) = 0;
+};
+
+/// NegotiaToR fabric: predefined + scheduled phases per epoch.
+class NegotiatorFabric final : public FabricSim, public DemandView {
+ public:
+  /// `stats_window_ns` > 0 enables per-ToR bandwidth time series.
+  explicit NegotiatorFabric(const NetworkConfig& config,
+                            Nanos stats_window_ns = 0);
+
+  void add_flow(const Flow& flow) override;
+  void run_until(Nanos t) override;
+  Nanos now() const override { return sim_.now(); }
+  FctRecorder& fct() override { return fct_; }
+  GoodputMeter& goodput() override { return goodput_; }
+  LinkState& links() override { return links_; }
+  const NetworkConfig& config() const override { return config_; }
+  Bytes total_backlog() const override;
+  std::vector<double> match_ratio_series() const override {
+    return ratio_series_;
+  }
+  void schedule_link_event(Nanos when, TorId tor, PortId port,
+                           LinkDirection dir, bool fail) override;
+
+  // DemandView:
+  Bytes pending_bytes(TorId src, TorId dst) const override;
+  Bytes elephant_bytes(TorId src, TorId dst) const override;
+  Nanos weighted_hol_delay(TorId src, TorId dst, Nanos now,
+                           double alpha) const override;
+  Nanos oldest_hol_enqueue(TorId src, TorId dst) const override;
+  Bytes cumulative_arrived(TorId src, TorId dst) const override;
+  Bytes relay_pending(TorId tor, TorId final_dst) const override;
+  Bytes relay_queue_total(TorId tor) const override;
+  std::vector<TorId> relay_active_destinations(TorId tor) const override;
+  const std::set<TorId>& active_destinations(TorId src) const override;
+  bool rx_paused(TorId tor) const override;
+
+  /// §3.6.5 host plane, when enabled in the config (else nullptr).
+  HostPlane* host_plane() { return host_plane_.get(); }
+
+  const EpochTiming& timing() const { return timing_; }
+  std::int64_t current_epoch() const { return epoch_; }
+
+  /// Scheduled-phase utilization counters (diagnostics / ablations):
+  /// matches established, match-slots offered, match-slots that carried a
+  /// packet, piggyback packets sent.
+  std::int64_t total_matches() const { return total_matches_; }
+  std::int64_t match_slots_offered() const { return match_slots_offered_; }
+  std::int64_t match_slots_used() const { return match_slots_used_; }
+  std::int64_t piggyback_packets() const { return piggyback_packets_; }
+
+ private:
+  void run_epoch();
+  void run_predefined_phase();
+  void run_scheduled_phase();
+  PortId rx_port_for(TorId src, PortId tx, TorId dst) const;
+  void deliver_direct(int flow_index, TorId dst, Bytes bytes, Nanos arrival);
+
+  NetworkConfig config_;
+  std::unique_ptr<FlatTopology> topo_;
+  PredefinedSchedule schedule_;
+  EpochTiming timing_;
+  Simulation sim_;
+  std::vector<TorSwitch> tors_;
+  std::vector<RelayQueueSet> relay_;  // selective-relay variant only
+  bool relay_enabled_;
+  FlowTable flow_table_;
+  FctRecorder fct_;
+  GoodputMeter goodput_;
+  LinkState links_;
+  FaultPlane faults_;
+  std::unique_ptr<NegotiatorScheduler> scheduler_;
+  std::int64_t epoch_{0};
+  std::size_t prev_epoch_grants_{0};
+  std::vector<double> ratio_series_;
+  std::vector<Bytes> arrived_;  // [src * N + dst], cumulative (stateful)
+  std::int64_t total_matches_{0};
+  std::int64_t match_slots_offered_{0};
+  std::int64_t match_slots_used_{0};
+  std::int64_t piggyback_packets_{0};
+  std::unique_ptr<HostPlane> host_plane_;
+  /// Pause state advertised to senders during the previous predefined
+  /// phase; refreshed once per epoch.
+  std::vector<bool> pause_advertised_;
+};
+
+/// Builds the fabric matching `config.scheduler` (NegotiaToR family or the
+/// traffic-oblivious baseline). Validates the config.
+std::unique_ptr<FabricSim> make_fabric(const NetworkConfig& config,
+                                       Nanos stats_window_ns = 0);
+
+}  // namespace negotiator

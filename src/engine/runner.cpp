@@ -1,0 +1,69 @@
+#include "engine/runner.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "stats/percentile.h"
+
+namespace negotiator {
+
+Runner::Runner(const NetworkConfig& config, Nanos stats_window_ns)
+    : fabric_(make_fabric(config, stats_window_ns)) {}
+
+RunResult Runner::run(Nanos duration, Nanos measure_from) {
+  NEG_ASSERT(duration > 0, "duration must be positive");
+  fabric_->fct().set_measure_from(measure_from);
+  fabric_->goodput().set_measure_interval(measure_from, duration);
+  fabric_->run_until(duration);
+
+  RunResult out;
+  out.mice = fabric_->fct().mice_summary();
+  out.all_flows = fabric_->fct().all_summary();
+  out.goodput = fabric_->goodput().normalized_goodput(config().host_rate());
+  const auto ratios = fabric_->match_ratio_series();
+  out.mean_match_ratio = mean(ratios);
+  out.epoch_ns = config().epoch_length_ns();
+  out.completed = fabric_->fct().completed();
+  out.backlog = fabric_->total_backlog();
+  return out;
+}
+
+Nanos Runner::finish_time_of_group(int group, std::size_t count,
+                                   Nanos deadline) {
+  const Nanos step = config().epoch_length_ns();
+  Nanos t = fabric_->now();
+  auto group_done = [&]() -> std::size_t {
+    std::size_t done = 0;
+    for (const FctSample& s : fabric_->fct().samples()) {
+      if (s.group == group) ++done;
+    }
+    return done;
+  };
+  while (t < deadline && group_done() < count) {
+    t += step;
+    fabric_->run_until(t);
+  }
+  if (group_done() < count) return kNeverNs;
+  Nanos finish = 0;
+  for (const FctSample& s : fabric_->fct().samples()) {
+    if (s.group == group) finish = std::max(finish, s.arrival + s.fct);
+  }
+  return finish;
+}
+
+NetworkConfig with_reconfiguration_delay(NetworkConfig config,
+                                         Nanos guardband_ns) {
+  NEG_ASSERT(guardband_ns > 0, "guardband must be positive");
+  const Nanos base_guard = config.epoch.guardband_ns;
+  config.epoch.guardband_ns = guardband_ns;
+  // Keep the guardband share of the epoch fixed by stretching the
+  // scheduled phase proportionally (§4.2 "the length of the scheduled
+  // phase is accordingly adjusted").
+  const double scale = static_cast<double>(guardband_ns) /
+                       static_cast<double>(base_guard);
+  config.epoch.scheduled_slots = std::max(
+      1, static_cast<int>(config.epoch.scheduled_slots * scale + 0.5));
+  return config;
+}
+
+}  // namespace negotiator

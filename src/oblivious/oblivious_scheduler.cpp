@@ -1,0 +1,144 @@
+#include "oblivious/oblivious_scheduler.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "topo/topology_factory.h"
+
+namespace negotiator {
+
+ObliviousFabric::ObliviousFabric(const NetworkConfig& config,
+                                 Nanos stats_window_ns)
+    : config_(config),
+      topo_(make_topology(config)),
+      rotor_(config.topology, config.num_tors, config.ports_per_tor,
+             config.epoch.guardband_ns + config.epoch.scheduled_slot_ns),
+      goodput_(config.num_tors, stats_window_ns),
+      links_(config.num_tors, config.ports_per_tor),
+      last_occupancy_(
+          static_cast<std::size_t>(config.num_tors) * config.num_tors, 0),
+      spread_ptr_(static_cast<std::size_t>(config.num_tors), 0) {
+  config_.validate();
+  tors_.reserve(static_cast<std::size_t>(config_.num_tors));
+  relay_.reserve(static_cast<std::size_t>(config_.num_tors));
+  for (TorId t = 0; t < config_.num_tors; ++t) {
+    tors_.emplace_back(t, config_.num_tors, config_.pias);
+    relay_.emplace_back(config_.num_tors);
+  }
+}
+
+void ObliviousFabric::add_flow(const Flow& flow) {
+  NEG_ASSERT(flow.arrival >= sim_.now(), "flow arrives in the past");
+  const int index = flow_table_.add(flow);
+  sim_.events().schedule(flow.arrival, [this, index](Nanos when) {
+    const Flow& f = flow_table_.flow(index);
+    Flow queued = f;
+    queued.id = index;  // queues carry the dense index
+    tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, when);
+  });
+}
+
+void ObliviousFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
+                                          LinkDirection dir, bool fail) {
+  sim_.events().schedule(when, [this, tor, port, dir, fail](Nanos) {
+    if (fail) {
+      links_.fail(tor, port, dir);
+    } else {
+      links_.repair(tor, port, dir);
+    }
+  });
+}
+
+TorId ObliviousFabric::next_spread_dst(TorId src, TorId exclude) {
+  const auto& active =
+      tors_[static_cast<std::size_t>(src)].active_destinations();
+  if (active.empty()) return kInvalidTor;
+  TorId& ptr = spread_ptr_[static_cast<std::size_t>(src)];
+  auto it = active.upper_bound(ptr);
+  for (std::size_t step = 0; step < active.size() + 1; ++step) {
+    if (it == active.end()) it = active.begin();
+    const TorId d = *it;
+    if (d != exclude) {
+      ptr = d;
+      return d;
+    }
+    ++it;
+  }
+  return kInvalidTor;
+}
+
+void ObliviousFabric::run_slot(std::int64_t global_slot) {
+  sim_.advance_to(rotor_.slot_start(global_slot));
+  const Bytes payload = config_.scheduled_payload_bytes();
+  const Nanos arrival = rotor_.slot_end(global_slot) +
+                        config_.propagation_delay_ns;
+  const int n = config_.num_tors;
+  for (TorId s = 0; s < n; ++s) {
+    TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
+    RelayQueueSet& parked = relay_[static_cast<std::size_t>(s)];
+    for (PortId p = 0; p < config_.ports_per_tor; ++p) {
+      const TorId m = rotor_.dst_of(s, p, global_slot);
+      if (m == kInvalidTor) continue;
+      const PortId rx = topo_->rx_port(s, p, m);
+      if (!links_.path_up(s, p, m, rx)) continue;
+      // The connection's framing advertises the sender's relay occupancy to
+      // the receiver (used to gate future spreading towards s).
+      last_occupancy_[static_cast<std::size_t>(m) * n + s] =
+          parked.total_bytes();
+      // 1. Second hop: deliver relayed data whose final destination is m.
+      if (auto chunk = parked.dequeue_packet(m, payload)) {
+        flow_table_.credit(static_cast<int>(chunk->flow), chunk->bytes,
+                           arrival, fct_);
+        goodput_.record_delivery(m, chunk->bytes, arrival);
+        continue;
+      }
+      // 2. VLB spread: detour the next backlogged destination through m.
+      //    When the round-robin pointer lands on m itself the data goes
+      //    direct (the lucky 1/N case of uniform spreading).
+      // Congestion control: no spreading into a full intermediate buffer —
+      // the slot idles until m drains (pure VLB waits for credit; there is
+      // no adaptive fall-back to direct transmission in the baseline).
+      const bool room =
+          last_occupancy_[static_cast<std::size_t>(s) * n + m] <
+          config_.oblivious.relay_queue_capacity;
+      if (!room) continue;
+      const TorId d = next_spread_dst(s, kInvalidTor);
+      if (d == kInvalidTor) continue;
+      if (d == m) {
+        if (auto pkt = tor.dequeue_packet(m, payload)) {
+          flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes, arrival,
+                             fct_);
+          goodput_.record_delivery(m, pkt->bytes, arrival);
+        }
+        continue;
+      }
+      if (auto pkt = tor.dequeue_packet(d, payload)) {
+        goodput_.record_relay_reception(m, pkt->bytes, arrival);
+        const FlowId flow = pkt->flow;
+        const Bytes bytes = pkt->bytes;
+        sim_.events().schedule(arrival,
+                               [this, m, d, flow, bytes](Nanos when) {
+                                 relay_[static_cast<std::size_t>(m)].enqueue(
+                                     d, flow, bytes, when);
+                               });
+      }
+    }
+  }
+}
+
+void ObliviousFabric::run_until(Nanos t) {
+  while (rotor_.slot_start(next_slot_) < t) {
+    run_slot(next_slot_);
+    ++next_slot_;
+  }
+  if (t > sim_.now()) sim_.advance_to(t);
+}
+
+Bytes ObliviousFabric::total_backlog() const {
+  Bytes total = 0;
+  for (const TorSwitch& t : tors_) total += t.total_pending();
+  for (const RelayQueueSet& r : relay_) total += r.total_bytes();
+  return total;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,72 @@
+// Traffic-oblivious baseline fabric (Sirius [4] / RotorNet-style, §2, §4.1).
+//
+// The network reconfigures on a fixed round-robin schedule regardless of
+// demand; Valiant load balancing adapts the traffic to the network by
+// spreading ALL data across the network before routing it to the final
+// destination ("uniforming the traffic pattern to all-to-all", §2) — every
+// byte takes two hops unless the randomly chosen intermediate happens to be
+// the destination. On each slot connection src -> m the source sends, in
+// priority order:
+//   1. second-hop relay data parked at src whose final destination is m;
+//   2. VLB spread of its own queued data (PIAS priority at sources only,
+//      §4.1): the next backlogged destination d in round-robin order is
+//      detoured through m (delivered directly in the lucky d == m case),
+//      gated by m's last advertised relay occupancy (the baseline's
+//      congestion control, with direct transmission to m as the fallback).
+// One packet per slot per port, 2x speedup as configured. This reproduces
+// the baseline's signature behaviour: relay doubles the traffic volume and
+// competes for receiver bandwidth (worst-case goodput 50%), and mice FCT is
+// inflated by the detour plus FIFO head-of-line blocking at intermediates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "engine/network.h"
+#include "oblivious/rotor_schedule.h"
+
+namespace negotiator {
+
+class ObliviousFabric final : public FabricSim {
+ public:
+  explicit ObliviousFabric(const NetworkConfig& config,
+                           Nanos stats_window_ns = 0);
+
+  void add_flow(const Flow& flow) override;
+  void run_until(Nanos t) override;
+  Nanos now() const override { return sim_.now(); }
+  FctRecorder& fct() override { return fct_; }
+  GoodputMeter& goodput() override { return goodput_; }
+  LinkState& links() override { return links_; }
+  const NetworkConfig& config() const override { return config_; }
+  Bytes total_backlog() const override;
+  void schedule_link_event(Nanos when, TorId tor, PortId port,
+                           LinkDirection dir, bool fail) override;
+
+  Nanos cycle_length_ns() const { return rotor_.cycle_length_ns(); }
+
+ private:
+  void run_slot(std::int64_t global_slot);
+  /// Next backlogged destination after the spread pointer, skipping
+  /// `exclude`; kInvalidTor when none.
+  TorId next_spread_dst(TorId src, TorId exclude);
+
+  NetworkConfig config_;
+  std::unique_ptr<FlatTopology> topo_;
+  RotorSchedule rotor_;
+  Simulation sim_;
+  std::vector<TorSwitch> tors_;
+  std::vector<RelayQueueSet> relay_;
+  FlowTable flow_table_;
+  FctRecorder fct_;
+  GoodputMeter goodput_;
+  LinkState links_;
+  std::int64_t next_slot_{0};
+  /// last_occupancy_[observer * N + peer]: the peer's relay-queue total as
+  /// last advertised to the observer over an incoming connection.
+  std::vector<Bytes> last_occupancy_;
+  std::vector<TorId> spread_ptr_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,14 @@
+#include "oblivious/rotor_schedule.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+RotorSchedule::RotorSchedule(TopologyKind kind, int num_tors,
+                             int ports_per_tor, Nanos slot_length_ns)
+    : schedule_(kind, num_tors, ports_per_tor),
+      slot_length_ns_(slot_length_ns) {
+  NEG_ASSERT(slot_length_ns > 0, "slot length must be positive");
+}
+
+}  // namespace negotiator

@@ -1,0 +1,44 @@
+// Continuous rotor connectivity for the traffic-oblivious baseline: the
+// predefined round-robin rule of §3.3.1 applied to every timeslot, cycling
+// forever. One cycle gives every ordered pair at least one connection.
+#pragma once
+
+#include "common/config.h"
+#include "common/types.h"
+#include "topo/predefined_schedule.h"
+
+namespace negotiator {
+
+class RotorSchedule {
+ public:
+  RotorSchedule(TopologyKind kind, int num_tors, int ports_per_tor,
+                Nanos slot_length_ns);
+
+  /// Slots per full all-to-all cycle.
+  int cycle_slots() const { return schedule_.slots(); }
+  Nanos slot_length_ns() const { return slot_length_ns_; }
+  Nanos cycle_length_ns() const {
+    return slot_length_ns_ * cycle_slots();
+  }
+
+  Nanos slot_start(std::int64_t global_slot) const {
+    return global_slot * slot_length_ns_;
+  }
+  Nanos slot_end(std::int64_t global_slot) const {
+    return slot_start(global_slot) + slot_length_ns_;
+  }
+
+  /// Destination of (src, tx) during global slot `global_slot`;
+  /// kInvalidTor for idle slots.
+  TorId dst_of(TorId src, PortId tx, std::int64_t global_slot) const {
+    return schedule_.dst_of(src, tx,
+                            static_cast<int>(global_slot % cycle_slots()),
+                            /*rotation=*/0);
+  }
+
+ private:
+  PredefinedSchedule schedule_;
+  Nanos slot_length_ns_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+void EventQueue::schedule(Nanos when, Callback cb) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+Nanos EventQueue::next_time() const {
+  return heap_.empty() ? kNeverNs : heap_.top().when;
+}
+
+void EventQueue::run_next() {
+  NEG_ASSERT(!heap_.empty(), "run_next on empty queue");
+  // Copy out before pop: the callback may schedule new events.
+  Entry e = heap_.top();
+  heap_.pop();
+  e.cb(e.when);
+}
+
+void EventQueue::run_until(Nanos until) {
+  while (!heap_.empty() && heap_.top().when <= until) run_next();
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace negotiator

@@ -1,0 +1,55 @@
+// A deterministic discrete-event queue.
+//
+// Events scheduled for the same timestamp fire in insertion order (FIFO tie
+// break via a monotonically increasing sequence number), which keeps runs
+// reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Nanos now)>;
+
+  /// Schedules `cb` to run at absolute time `when` (>= current head time).
+  void schedule(Nanos when, Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event; kNeverNs when empty.
+  Nanos next_time() const;
+
+  /// Pops and runs the earliest event. Requires !empty().
+  void run_next();
+
+  /// Runs every event with timestamp <= `until` (inclusive).
+  void run_until(Nanos until);
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Nanos when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,32 @@
+#include "stats/csv.h"
+
+#include <stdexcept>
+
+#include "common/assert.h"
+
+namespace negotiator {
+namespace {
+
+void write_row(std::ofstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ',';
+    out << cells[i];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(out_, header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  NEG_ASSERT(cells.size() == columns_, "CSV row width mismatch");
+  write_row(out_, cells);
+}
+
+}  // namespace negotiator

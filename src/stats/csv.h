@@ -1,0 +1,23 @@
+// CSV writer so benchmark outputs can be re-plotted outside the repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace negotiator {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. Throws std::runtime_error on
+  /// failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace negotiator

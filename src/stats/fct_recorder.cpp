@@ -1,0 +1,50 @@
+#include "stats/fct_recorder.h"
+
+#include <algorithm>
+
+#include "stats/percentile.h"
+
+namespace negotiator {
+
+void FctRecorder::record(const FctSample& sample) {
+  samples_.push_back(sample);
+}
+
+std::vector<double> FctRecorder::mice_fcts(int group) const {
+  std::vector<double> out;
+  for (const FctSample& s : samples_) {
+    if (s.arrival < measure_from_) continue;
+    if (s.size >= kMiceFlowBytes) continue;
+    if (group >= 0 && s.group != group) continue;
+    out.push_back(static_cast<double>(s.fct));
+  }
+  return out;
+}
+
+FctSummary FctRecorder::summarize(bool mice_only, int group) const {
+  std::vector<double> fcts;
+  for (const FctSample& s : samples_) {
+    if (s.arrival < measure_from_) continue;
+    if (mice_only && s.size >= kMiceFlowBytes) continue;
+    if (group >= 0 && s.group != group) continue;
+    fcts.push_back(static_cast<double>(s.fct));
+  }
+  FctSummary out;
+  out.count = fcts.size();
+  if (fcts.empty()) return out;
+  out.mean_ns = mean(fcts);
+  out.p50_ns = percentile(fcts, 50.0);
+  out.p99_ns = percentile(fcts, 99.0);
+  out.max_ns = *std::max_element(fcts.begin(), fcts.end());
+  return out;
+}
+
+FctSummary FctRecorder::mice_summary(int group) const {
+  return summarize(/*mice_only=*/true, group);
+}
+
+FctSummary FctRecorder::all_summary(int group) const {
+  return summarize(/*mice_only=*/false, group);
+}
+
+}  // namespace negotiator

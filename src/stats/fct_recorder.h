@@ -1,0 +1,55 @@
+// Flow-completion-time bookkeeping, ToR-to-ToR (§4.1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "workload/flow.h"
+
+namespace negotiator {
+
+struct FctSample {
+  FlowId flow;
+  Bytes size;
+  Nanos arrival;
+  Nanos fct;  // finish - arrival
+  int group;
+};
+
+struct FctSummary {
+  std::size_t count{0};
+  double p99_ns{0.0};
+  double p50_ns{0.0};
+  double mean_ns{0.0};
+  double max_ns{0.0};
+};
+
+class FctRecorder {
+ public:
+  void record(const FctSample& sample);
+
+  /// Only flows with arrival >= `measure_from` are included in summaries;
+  /// earlier flows count as warm-up.
+  void set_measure_from(Nanos t) { measure_from_ = t; }
+
+  std::size_t completed() const { return samples_.size(); }
+
+  /// Summary over mice flows (< kMiceFlowBytes), optionally one group only
+  /// (group < 0 means all groups).
+  FctSummary mice_summary(int group = -1) const;
+  /// Summary over all flows.
+  FctSummary all_summary(int group = -1) const;
+
+  /// Raw mice FCTs in ns, for CDFs.
+  std::vector<double> mice_fcts(int group = -1) const;
+
+  const std::vector<FctSample>& samples() const { return samples_; }
+
+ private:
+  FctSummary summarize(bool mice_only, int group) const;
+
+  std::vector<FctSample> samples_;
+  Nanos measure_from_{0};
+};
+
+}  // namespace negotiator

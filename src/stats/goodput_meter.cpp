@@ -1,0 +1,67 @@
+#include "stats/goodput_meter.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+GoodputMeter::GoodputMeter(int num_tors, Nanos window_ns)
+    : num_tors_(num_tors), window_ns_(window_ns) {
+  NEG_ASSERT(num_tors >= 1, "need >= 1 ToR");
+  NEG_ASSERT(window_ns >= 0, "window must be >= 0");
+  if (window_ns_ > 0) {
+    per_tor_windows_.resize(static_cast<std::size_t>(num_tors));
+    per_tor_relay_windows_.resize(static_cast<std::size_t>(num_tors));
+  }
+}
+
+void GoodputMeter::set_measure_interval(Nanos from, Nanos to) {
+  NEG_ASSERT(from >= 0 && to > from, "bad measure interval");
+  measure_from_ = from;
+  measure_to_ = to;
+}
+
+void GoodputMeter::bump_series(std::vector<Bytes>& series, Bytes bytes,
+                               Nanos when) {
+  const auto w = static_cast<std::size_t>(when / window_ns_);
+  if (series.size() <= w) series.resize(w + 1, 0);
+  series[w] += bytes;
+}
+
+void GoodputMeter::record_delivery(TorId dst, Bytes bytes, Nanos when) {
+  NEG_ASSERT(bytes >= 0, "negative delivery");
+  if (when >= measure_from_ && when < measure_to_) delivered_ += bytes;
+  if (window_ns_ > 0) {
+    bump_series(per_tor_windows_[static_cast<std::size_t>(dst)], bytes, when);
+  }
+}
+
+void GoodputMeter::record_relay_reception(TorId intermediate, Bytes bytes,
+                                          Nanos when) {
+  if (when >= measure_from_ && when < measure_to_) relay_ += bytes;
+  if (window_ns_ > 0) {
+    bump_series(per_tor_relay_windows_[static_cast<std::size_t>(intermediate)],
+                bytes, when);
+  }
+}
+
+double GoodputMeter::normalized_goodput(Rate host_rate) const {
+  const Nanos to = measure_to_ == kNeverNs ? 0 : measure_to_;
+  const Nanos duration = to - measure_from_;
+  if (duration <= 0) return 0.0;
+  const double capacity = host_rate.bytes_per_ns *
+                          static_cast<double>(duration) * num_tors_;
+  return static_cast<double>(delivered_) / capacity;
+}
+
+const std::vector<Bytes>& GoodputMeter::tor_window_series(TorId dst) const {
+  NEG_ASSERT(window_ns_ > 0, "window series not enabled");
+  return per_tor_windows_[static_cast<std::size_t>(dst)];
+}
+
+const std::vector<Bytes>& GoodputMeter::tor_relay_window_series(
+    TorId dst) const {
+  NEG_ASSERT(window_ns_ > 0, "window series not enabled");
+  return per_tor_relay_windows_[static_cast<std::size_t>(dst)];
+}
+
+}  // namespace negotiator

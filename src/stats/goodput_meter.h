@@ -1,0 +1,51 @@
+// Goodput accounting. Counts payload bytes delivered to their final
+// destination ToR; relay (first-hop) bytes are tracked separately — they
+// consume receiver bandwidth but are not goodput (§4.2, Fig. 18).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace negotiator {
+
+class GoodputMeter {
+ public:
+  GoodputMeter(int num_tors, Nanos window_ns = 0);
+
+  /// Final-destination delivery of `bytes` payload at `when` into `dst`.
+  void record_delivery(TorId dst, Bytes bytes, Nanos when);
+
+  /// First-hop (relay) reception at an intermediate ToR.
+  void record_relay_reception(TorId intermediate, Bytes bytes, Nanos when);
+
+  void set_measure_interval(Nanos from, Nanos to);
+
+  Bytes delivered_bytes() const { return delivered_; }
+  Bytes relay_bytes() const { return relay_; }
+
+  /// Average goodput normalized to `host_rate` per ToR over the measure
+  /// interval: delivered / (N * host_rate * duration).
+  double normalized_goodput(Rate host_rate) const;
+
+  /// Delivered bytes per window per ToR (only when window_ns > 0); index =
+  /// window number.
+  const std::vector<Bytes>& tor_window_series(TorId dst) const;
+  const std::vector<Bytes>& tor_relay_window_series(TorId dst) const;
+  Nanos window_ns() const { return window_ns_; }
+
+ private:
+  void bump_series(std::vector<Bytes>& series, Bytes bytes, Nanos when);
+
+  int num_tors_;
+  Nanos window_ns_;
+  Nanos measure_from_{0};
+  Nanos measure_to_{kNeverNs};
+  Bytes delivered_{0};
+  Bytes relay_{0};
+  std::vector<std::vector<Bytes>> per_tor_windows_;
+  std::vector<std::vector<Bytes>> per_tor_relay_windows_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,33 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+namespace negotiator {
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::points(int resolution) const {
+  std::vector<Point> out;
+  if (values_.empty() || resolution <= 0) return out;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  out.reserve(static_cast<std::size_t>(resolution));
+  const auto n = sorted.size();
+  for (int i = 1; i <= resolution; ++i) {
+    const double q = static_cast<double>(i) / resolution;
+    const auto idx = std::min(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n)) -
+                   (q >= 1.0 ? 1 : 0));
+    out.push_back(Point{sorted[idx], q});
+  }
+  return out;
+}
+
+double EmpiricalCdf::fraction_below(double threshold) const {
+  if (values_.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double v : values_) {
+    if (v <= threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values_.size());
+}
+
+}  // namespace negotiator

@@ -1,0 +1,29 @@
+// Empirical CDF over recorded samples (Fig. 6 style outputs).
+#pragma once
+
+#include <vector>
+
+namespace negotiator {
+
+class EmpiricalCdf {
+ public:
+  void add(double value) { values_.push_back(value); }
+  std::size_t count() const { return values_.size(); }
+
+  struct Point {
+    double value;
+    double cdf;
+  };
+
+  /// `resolution` evenly spaced CDF points over the sample range (sorted).
+  /// Empty when no samples.
+  std::vector<Point> points(int resolution = 100) const;
+
+  /// Fraction of samples <= threshold.
+  double fraction_below(double threshold) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,14 @@
+// Percentile helpers (nearest-rank on a sorted copy).
+#pragma once
+
+#include <vector>
+
+namespace negotiator {
+
+/// p in [0, 100]. Empty input returns 0. Nearest-rank method.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; empty input returns 0.
+double mean(const std::vector<double>& values);
+
+}  // namespace negotiator

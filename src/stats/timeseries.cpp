@@ -1,0 +1,26 @@
+#include "stats/timeseries.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+TimeSeries::TimeSeries(Nanos window_ns) : window_ns_(window_ns) {
+  NEG_ASSERT(window_ns > 0, "window must be positive");
+}
+
+void TimeSeries::add(Nanos when, double value) {
+  NEG_ASSERT(when >= 0, "negative timestamp");
+  const auto w = static_cast<std::size_t>(when / window_ns_);
+  if (sums_.size() <= w) sums_.resize(w + 1, 0.0);
+  sums_[w] += value;
+}
+
+double TimeSeries::sum_at(std::size_t window) const {
+  return window < sums_.size() ? sums_[window] : 0.0;
+}
+
+double TimeSeries::rate_at(std::size_t window) const {
+  return sum_at(window) / static_cast<double>(window_ns_);
+}
+
+}  // namespace negotiator

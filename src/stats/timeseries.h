@@ -1,0 +1,27 @@
+// Fixed-window time-series accumulator (micro-observation figures).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Nanos window_ns);
+
+  void add(Nanos when, double value);
+
+  Nanos window_ns() const { return window_ns_; }
+  std::size_t windows() const { return sums_.size(); }
+  double sum_at(std::size_t window) const;
+  /// Sum divided by window length — e.g. bytes/ns when values are bytes.
+  double rate_at(std::size_t window) const;
+
+ private:
+  Nanos window_ns_;
+  std::vector<double> sums_;
+};
+
+}  // namespace negotiator

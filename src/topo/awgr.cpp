@@ -1,0 +1,42 @@
+#include "topo/awgr.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+Awgr::Awgr(int ports)
+    : ports_(ports),
+      by_output_(static_cast<std::size_t>(ports), -1),
+      input_used_(static_cast<std::size_t>(ports), false) {
+  NEG_ASSERT(ports >= 1, "AWGR needs >= 1 port");
+}
+
+int Awgr::output_for(int input, int wavelength) const {
+  NEG_ASSERT(input >= 0 && input < ports_, "input out of range");
+  NEG_ASSERT(wavelength >= 0 && wavelength < ports_, "wavelength out of range");
+  return (input + wavelength) % ports_;
+}
+
+int Awgr::wavelength_for(int input, int output) const {
+  NEG_ASSERT(input >= 0 && input < ports_, "input out of range");
+  NEG_ASSERT(output >= 0 && output < ports_, "output out of range");
+  return (output - input + ports_) % ports_;
+}
+
+bool Awgr::try_connect(int input, int output) {
+  NEG_ASSERT(input >= 0 && input < ports_, "input out of range");
+  NEG_ASSERT(output >= 0 && output < ports_, "output out of range");
+  const auto in = static_cast<std::size_t>(input);
+  const auto out = static_cast<std::size_t>(output);
+  if (input_used_[in] || by_output_[out] != -1) return false;
+  input_used_[in] = true;
+  by_output_[out] = input;
+  return true;
+}
+
+void Awgr::reset_slot() {
+  for (auto& v : by_output_) v = -1;
+  input_used_.assign(input_used_.size(), false);
+}
+
+}  // namespace negotiator

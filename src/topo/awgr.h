@@ -1,0 +1,46 @@
+// Arrayed waveguide grating router (AWGR) wavelength-routing model.
+//
+// An AWGR is a fully passive W x W device: a signal entering input i on
+// wavelength w exits output (i + w) mod W. Sources "switch" by retuning
+// their laser; the device itself never reconfigures. The model is used by
+// the test suite to prove that every matching the schedulers emit is
+// physically realizable: assign each connection its wavelength and check
+// that no output port carries two signals in the same timeslot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+class Awgr {
+ public:
+  explicit Awgr(int ports);
+
+  int ports() const { return ports_; }
+
+  /// Output reached from `input` on wavelength `wavelength`.
+  int output_for(int input, int wavelength) const;
+
+  /// Wavelength a source on `input` must tune to reach `output`.
+  int wavelength_for(int input, int output) const;
+
+  /// One timeslot's usage: marks (input -> output); returns false if the
+  /// input was already driven or the output already illuminated this slot.
+  bool try_connect(int input, int output);
+
+  /// Clears per-slot usage.
+  void reset_slot();
+
+  /// Signals currently illuminating each output (kInvalidPort = dark).
+  const std::vector<int>& active_inputs_by_output() const { return by_output_; }
+
+ private:
+  int ports_;
+  std::vector<int> by_output_;  // input driving each output, or -1
+  std::vector<bool> input_used_;
+};
+
+}  // namespace negotiator

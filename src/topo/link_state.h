@@ -1,0 +1,42 @@
+// Per-port directed link health (§3.6.1). Egress (ToR tx -> AWGR) and
+// ingress (AWGR -> ToR rx) fibres fail independently; the paper detects the
+// two directions separately "to prevent overreaction and simplify
+// maintenance".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+enum class LinkDirection { kEgress, kIngress };
+
+class LinkState {
+ public:
+  LinkState(int num_tors, int ports_per_tor);
+
+  void fail(TorId tor, PortId port, LinkDirection dir);
+  void repair(TorId tor, PortId port, LinkDirection dir);
+  bool is_up(TorId tor, PortId port, LinkDirection dir) const;
+
+  /// A transmission src(tx) -> dst(rx) succeeds only when both the source's
+  /// egress fibre and the destination's ingress fibre are healthy.
+  bool path_up(TorId src, PortId tx, TorId dst, PortId rx) const;
+
+  int failed_count() const { return failed_count_; }
+  int total_links() const { return 2 * num_tors_ * ports_per_tor_; }
+
+  void repair_all();
+
+ private:
+  std::size_t index(TorId tor, PortId port, LinkDirection dir) const;
+
+  int num_tors_;
+  int ports_per_tor_;
+  std::vector<bool> up_;
+  int failed_count_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,46 @@
+#include "topo/parallel.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+ParallelTopology::ParallelTopology(int num_tors, int ports_per_tor)
+    : FlatTopology(num_tors, ports_per_tor) {
+  NEG_ASSERT(num_tors >= 2, "parallel topology needs >= 2 ToRs");
+  NEG_ASSERT(ports_per_tor >= 1, "parallel topology needs >= 1 port");
+}
+
+bool ParallelTopology::reachable(TorId src, PortId tx, TorId dst) const {
+  NEG_ASSERT(tx >= 0 && tx < ports_per_tor(), "tx port out of range");
+  return src != dst && src >= 0 && dst >= 0 && src < num_tors() &&
+         dst < num_tors();
+}
+
+PortId ParallelTopology::rx_port(TorId src, PortId tx, TorId dst) const {
+  NEG_ASSERT(reachable(src, tx, dst), "rx_port on unreachable pair");
+  return tx;  // plane-preserving: AWGR p connects port p to port p
+}
+
+PortId ParallelTopology::fixed_tx_port(TorId, TorId) const {
+  return kInvalidPort;  // any plane works
+}
+
+std::vector<TorId> ParallelTopology::rx_sources(TorId dst, PortId) const {
+  std::vector<TorId> out;
+  out.reserve(static_cast<std::size_t>(num_tors()) - 1);
+  for (TorId t = 0; t < num_tors(); ++t) {
+    if (t != dst) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TorId> ParallelTopology::tx_destinations(TorId src, PortId) const {
+  std::vector<TorId> out;
+  out.reserve(static_cast<std::size_t>(num_tors()) - 1);
+  for (TorId t = 0; t < num_tors(); ++t) {
+    if (t != src) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace negotiator

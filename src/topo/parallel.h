@@ -1,0 +1,23 @@
+// Parallel network topology (Fig. 1a): S high-port-count AWGRs, one per
+// "plane". Every ToR's port p attaches to AWGR p, so plane p is a full
+// N x N crossbar; a transmission on tx port p always lands on the
+// destination's rx port p.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace negotiator {
+
+class ParallelTopology final : public FlatTopology {
+ public:
+  ParallelTopology(int num_tors, int ports_per_tor);
+
+  TopologyKind kind() const override { return TopologyKind::kParallel; }
+  bool reachable(TorId src, PortId tx, TorId dst) const override;
+  PortId rx_port(TorId src, PortId tx, TorId dst) const override;
+  PortId fixed_tx_port(TorId src, TorId dst) const override;
+  std::vector<TorId> rx_sources(TorId dst, PortId rx) const override;
+  std::vector<TorId> tx_destinations(TorId src, PortId tx) const override;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,51 @@
+// Round-robin connection rule for the predefined phase (§3.3.1).
+//
+// Each epoch's predefined phase is a fixed sequence of timeslots; in slot k
+// every ToR's tx port p is connected to a predetermined destination so that
+// every ordered pair (src, dst) meets at least once per epoch. The rule can
+// be rotated between epochs so a pair traverses different physical links
+// over time, which is the parallel network's fault-tolerance lever
+// (§3.6.1). Thin-clos ports are pinned per pair, so rotation there only
+// shifts the slot, not the link.
+#pragma once
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+class PredefinedSchedule {
+ public:
+  PredefinedSchedule(TopologyKind kind, int num_tors, int ports_per_tor);
+
+  /// Timeslots per predefined phase.
+  int slots() const { return slots_; }
+
+  /// Destination that (src, tx_port) connects to in slot `slot` under
+  /// rotation `rotation`; kInvalidTor for an idle (self) slot.
+  TorId dst_of(TorId src, PortId tx, int slot, int rotation) const;
+
+  /// Source connected to (dst, rx_port) in slot `slot` (inverse mapping);
+  /// kInvalidTor for an idle slot.
+  TorId src_of(TorId dst, PortId rx, int slot, int rotation) const;
+
+  /// The connection (slot, tx_port) that pair (src, dst) uses first in an
+  /// epoch under `rotation`. Every pair has at least one.
+  struct Connection {
+    int slot;
+    PortId tx_port;
+    PortId rx_port;
+  };
+  Connection pair_connection(TorId src, TorId dst, int rotation) const;
+
+ private:
+  TopologyKind kind_;
+  int num_tors_;
+  int ports_per_tor_;
+  int block_size_;  // thin-clos only
+  int slots_;
+
+  int offset_of(PortId tx, int slot, int rotation) const;  // parallel
+};
+
+}  // namespace negotiator

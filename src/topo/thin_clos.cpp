@@ -1,0 +1,58 @@
+#include "topo/thin_clos.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+ThinClosTopology::ThinClosTopology(int num_tors, int ports_per_tor)
+    : FlatTopology(num_tors, ports_per_tor),
+      block_size_(num_tors / ports_per_tor) {
+  NEG_ASSERT(num_tors >= 2, "thin-clos needs >= 2 ToRs");
+  NEG_ASSERT(ports_per_tor >= 1, "thin-clos needs >= 1 port");
+  NEG_ASSERT(num_tors % ports_per_tor == 0,
+             "thin-clos requires num_tors divisible by ports_per_tor");
+}
+
+bool ThinClosTopology::reachable(TorId src, PortId tx, TorId dst) const {
+  NEG_ASSERT(tx >= 0 && tx < ports_per_tor(), "tx port out of range");
+  if (src == dst || src < 0 || dst < 0 || src >= num_tors() ||
+      dst >= num_tors()) {
+    return false;
+  }
+  return block_of(dst) == tx;
+}
+
+PortId ThinClosTopology::rx_port(TorId src, PortId tx, TorId dst) const {
+  NEG_ASSERT(reachable(src, tx, dst), "rx_port on unreachable pair");
+  return block_of(src);
+}
+
+PortId ThinClosTopology::fixed_tx_port(TorId src, TorId dst) const {
+  NEG_ASSERT(src != dst, "no port for self traffic");
+  return block_of(dst);
+}
+
+std::vector<TorId> ThinClosTopology::rx_sources(TorId dst, PortId rx) const {
+  NEG_ASSERT(rx >= 0 && rx < ports_per_tor(), "rx port out of range");
+  std::vector<TorId> out;
+  out.reserve(static_cast<std::size_t>(block_size_));
+  for (int i = 0; i < block_size_; ++i) {
+    const TorId s = rx * block_size_ + i;
+    if (s != dst) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TorId> ThinClosTopology::tx_destinations(TorId src,
+                                                     PortId tx) const {
+  NEG_ASSERT(tx >= 0 && tx < ports_per_tor(), "tx port out of range");
+  std::vector<TorId> out;
+  out.reserve(static_cast<std::size_t>(block_size_));
+  for (int i = 0; i < block_size_; ++i) {
+    const TorId d = tx * block_size_ + i;
+    if (d != src) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,35 @@
+// Thin-clos topology (Fig. 1b): built from low-port-count AWGRs.
+//
+// With N ToRs of S ports each and AWGRs of W = N/S ports, ToRs are grouped
+// in blocks of B = N/S consecutive indices. AWGR (p, g) takes its W inputs
+// from the tx port p of source group g and fans out to the rx ports of
+// destination block p. Hence a pair (s, d) is pinned to exactly one port
+// pair: tx = d / B at the source, rx = s / B at the destination — the
+// "identical ports" constraint of §3.6.1.
+#pragma once
+
+#include "topo/topology.h"
+
+namespace negotiator {
+
+class ThinClosTopology final : public FlatTopology {
+ public:
+  ThinClosTopology(int num_tors, int ports_per_tor);
+
+  TopologyKind kind() const override { return TopologyKind::kThinClos; }
+  bool reachable(TorId src, PortId tx, TorId dst) const override;
+  PortId rx_port(TorId src, PortId tx, TorId dst) const override;
+  PortId fixed_tx_port(TorId src, TorId dst) const override;
+  std::vector<TorId> rx_sources(TorId dst, PortId rx) const override;
+  std::vector<TorId> tx_destinations(TorId src, PortId tx) const override;
+
+  /// Number of ToRs per block (= AWGR port count W).
+  int block_size() const { return block_size_; }
+  /// Block that `tor` belongs to (its "group" as a source).
+  int block_of(TorId tor) const { return tor / block_size_; }
+
+ private:
+  int block_size_;
+};
+
+}  // namespace negotiator

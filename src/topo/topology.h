@@ -1,0 +1,51 @@
+// Abstract connectivity model of an AWGR-based flat topology (Fig. 1).
+//
+// Both topologies are "planar": data leaving src ToR's tx port p arrives at
+// a specific rx port of the destination. The scheduler only needs three
+// questions answered: which destinations a tx port can reach, which rx port
+// a transmission lands on, and (thin-clos only) the unique port pair a
+// (src,dst) pair is pinned to.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+class FlatTopology {
+ public:
+  virtual ~FlatTopology() = default;
+
+  virtual TopologyKind kind() const = 0;
+  int num_tors() const { return num_tors_; }
+  int ports_per_tor() const { return ports_per_tor_; }
+
+  /// True when src's tx port `tx` can reach `dst` (src != dst implied).
+  virtual bool reachable(TorId src, PortId tx, TorId dst) const = 0;
+
+  /// The rx port at `dst` on which data from (src, tx) arrives.
+  /// Requires reachable(src, tx, dst).
+  virtual PortId rx_port(TorId src, PortId tx, TorId dst) const = 0;
+
+  /// The unique tx port for (src, dst), or kInvalidPort when any port works
+  /// (parallel network).
+  virtual PortId fixed_tx_port(TorId src, TorId dst) const = 0;
+
+  /// Sources able to reach (dst, rx). Defines GRANT-ring membership.
+  virtual std::vector<TorId> rx_sources(TorId dst, PortId rx) const = 0;
+
+  /// Destinations reachable from (src, tx). Defines ACCEPT-ring membership.
+  virtual std::vector<TorId> tx_destinations(TorId src, PortId tx) const = 0;
+
+ protected:
+  FlatTopology(int num_tors, int ports_per_tor)
+      : num_tors_(num_tors), ports_per_tor_(ports_per_tor) {}
+
+ private:
+  int num_tors_;
+  int ports_per_tor_;
+};
+
+}  // namespace negotiator

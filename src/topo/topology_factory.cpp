@@ -1,0 +1,20 @@
+#include "topo/topology_factory.h"
+
+#include "topo/parallel.h"
+#include "topo/thin_clos.h"
+
+namespace negotiator {
+
+std::unique_ptr<FlatTopology> make_topology(const NetworkConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kParallel:
+      return std::make_unique<ParallelTopology>(config.num_tors,
+                                                config.ports_per_tor);
+    case TopologyKind::kThinClos:
+      return std::make_unique<ThinClosTopology>(config.num_tors,
+                                                config.ports_per_tor);
+  }
+  return nullptr;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <memory>
+
+#include "common/config.h"
+#include "topo/topology.h"
+
+namespace negotiator {
+
+/// Builds the topology described by `config` (validated by the caller).
+std::unique_ptr<FlatTopology> make_topology(const NetworkConfig& config);
+
+}  // namespace negotiator

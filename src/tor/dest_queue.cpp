@@ -1,0 +1,95 @@
+#include "tor/dest_queue.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+DestQueue::DestQueue(int levels)
+    : levels_(static_cast<std::size_t>(levels)),
+      level_bytes_(static_cast<std::size_t>(levels), 0) {
+  NEG_ASSERT(levels >= 1, "DestQueue needs >= 1 level");
+}
+
+void DestQueue::enqueue_flow(FlowId flow, Bytes size, Nanos now,
+                             const PiasConfig& pias) {
+  for (const PiasSegment& seg : pias_split(size, pias)) {
+    enqueue_bytes(flow, seg.bytes, now, pias.enabled ? seg.level : 0);
+  }
+}
+
+void DestQueue::enqueue_bytes(FlowId flow, Bytes bytes, Nanos now, int level) {
+  NEG_ASSERT(bytes > 0, "cannot enqueue zero bytes");
+  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
+  auto& q = levels_[static_cast<std::size_t>(level)];
+  // Merge with the tail segment when it is the same flow: flows are pushed
+  // whole at arrival, so this only coalesces retransmitted remainders.
+  if (!q.empty() && q.back().flow == flow && q.back().enqueued_at == now) {
+    q.back().remaining += bytes;
+  } else {
+    q.push_back(Segment{flow, bytes, now});
+  }
+  level_bytes_[static_cast<std::size_t>(level)] += bytes;
+  total_bytes_ += bytes;
+}
+
+void DestQueue::requeue_front(const QueuedPacket& packet) {
+  NEG_ASSERT(packet.bytes > 0, "cannot requeue zero bytes");
+  NEG_ASSERT(packet.level >= 0 && packet.level < levels(),
+             "level out of range");
+  auto& q = levels_[static_cast<std::size_t>(packet.level)];
+  if (!q.empty() && q.front().flow == packet.flow) {
+    q.front().remaining += packet.bytes;
+  } else {
+    q.push_front(Segment{packet.flow, packet.bytes, packet.enqueued_at});
+  }
+  level_bytes_[static_cast<std::size_t>(packet.level)] += packet.bytes;
+  total_bytes_ += packet.bytes;
+}
+
+std::optional<QueuedPacket> DestQueue::dequeue_packet(Bytes max_payload) {
+  return dequeue_packet_at_least(max_payload, 0);
+}
+
+std::optional<QueuedPacket> DestQueue::dequeue_packet_at_least(
+    Bytes max_payload, int min_level) {
+  NEG_ASSERT(max_payload > 0, "packet payload must be positive");
+  for (int level = min_level; level < levels(); ++level) {
+    auto& q = levels_[static_cast<std::size_t>(level)];
+    if (q.empty()) continue;
+    Segment& head = q.front();
+    const Bytes take = std::min(head.remaining, max_payload);
+    QueuedPacket packet{head.flow, take, level, head.enqueued_at};
+    head.remaining -= take;
+    level_bytes_[static_cast<std::size_t>(level)] -= take;
+    total_bytes_ -= take;
+    if (head.remaining == 0) q.pop_front();
+    return packet;
+  }
+  return std::nullopt;
+}
+
+Bytes DestQueue::bytes_at_level(int level) const {
+  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
+  return level_bytes_[static_cast<std::size_t>(level)];
+}
+
+Nanos DestQueue::hol_enqueue_time(int level) const {
+  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
+  const auto& q = levels_[static_cast<std::size_t>(level)];
+  return q.empty() ? kNeverNs : q.front().enqueued_at;
+}
+
+Nanos DestQueue::weighted_hol_delay(Nanos now, double alpha) const {
+  auto wait = [now](Nanos enq) -> double {
+    return enq == kNeverNs ? 0.0 : static_cast<double>(now - enq);
+  };
+  const double q0 = wait(hol_enqueue_time(0));
+  const double q1 = levels() > 1 ? wait(hol_enqueue_time(1)) : 0.0;
+  const double q2 = levels() > 2 ? wait(hol_enqueue_time(2)) : 0.0;
+  const double weighted = (1.0 - alpha) * (q0 + q1) / 2.0 + alpha * q2;
+  return static_cast<Nanos>(weighted);
+}
+
+}  // namespace negotiator

@@ -1,0 +1,72 @@
+// Per-destination queue inside a ToR (§3.1): "One ToR maintains a FIFO
+// queue for each of the other ToRs in the network." With PIAS enabled the
+// queue is a strict-priority set of FIFOs; packets are always drawn from
+// the highest-priority non-empty level, preserving FIFO order within a
+// level, which keeps per-pair data in order (§3.6.5).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "tor/pias.h"
+
+namespace negotiator {
+
+/// One packet's worth of queued data handed to the fabric.
+struct QueuedPacket {
+  FlowId flow;
+  Bytes bytes;       // payload bytes in this packet
+  int level;         // priority level it was drawn from
+  Nanos enqueued_at; // when its segment entered the queue
+};
+
+class DestQueue {
+ public:
+  explicit DestQueue(int levels = 1);
+
+  /// Enqueues a flow, split across priority levels per `pias`.
+  void enqueue_flow(FlowId flow, Bytes size, Nanos now,
+                    const PiasConfig& pias);
+
+  /// Enqueues raw bytes at a specific level (relay traffic, retransmits).
+  void enqueue_bytes(FlowId flow, Bytes bytes, Nanos now, int level);
+
+  /// Puts bytes back at the head of their level (lost transmission).
+  void requeue_front(const QueuedPacket& packet);
+
+  /// Draws at most `max_payload` bytes of a single flow from the
+  /// highest-priority non-empty level. Empty queue -> nullopt.
+  std::optional<QueuedPacket> dequeue_packet(Bytes max_payload);
+
+  /// Same, but only from levels >= `min_level` (selective relay pulls only
+  /// the lowest-priority elephant data, A.2.2).
+  std::optional<QueuedPacket> dequeue_packet_at_least(Bytes max_payload,
+                                                      int min_level);
+
+  bool empty() const { return total_bytes_ == 0; }
+  Bytes total_bytes() const { return total_bytes_; }
+  Bytes bytes_at_level(int level) const;
+  int levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Enqueue time of the head segment at `level`; kNeverNs when empty.
+  Nanos hol_enqueue_time(int level) const;
+
+  /// Weighted head-of-line waiting delay (A.2.3): HoL = (1 - alpha) *
+  /// (HoL_q0 + HoL_q1) / 2 + alpha * HoL_q2, empty levels contributing 0.
+  Nanos weighted_hol_delay(Nanos now, double alpha) const;
+
+ private:
+  struct Segment {
+    FlowId flow;
+    Bytes remaining;
+    Nanos enqueued_at;
+  };
+  std::vector<std::deque<Segment>> levels_;
+  std::vector<Bytes> level_bytes_;
+  Bytes total_bytes_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,30 @@
+#include "tor/pias.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+int pias_levels(const PiasConfig& config) {
+  return config.enabled ? PiasConfig::kLevels : 1;
+}
+
+std::vector<PiasSegment> pias_split(Bytes size, const PiasConfig& config) {
+  NEG_ASSERT(size > 0, "cannot split an empty flow");
+  if (!config.enabled) return {{0, size}};
+  std::vector<PiasSegment> segments;
+  Bytes rest = size;
+  const Bytes first = std::min(rest, config.first_threshold);
+  segments.push_back({0, first});
+  rest -= first;
+  if (rest > 0) {
+    const Bytes second = std::min(rest, config.second_threshold);
+    segments.push_back({1, second});
+    rest -= second;
+  }
+  if (rest > 0) segments.push_back({2, rest});
+  return segments;
+}
+
+}  // namespace negotiator

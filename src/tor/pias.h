@@ -1,0 +1,29 @@
+// PIAS-style information-agnostic flow prioritization (§3.4.2, [3]).
+//
+// A flow's first `first_threshold` bytes are served at the highest
+// priority, the following `second_threshold` bytes at the middle one and
+// the remainder at the lowest — equivalent to a multi-level feedback queue
+// that demotes a flow as it sends, but computable at enqueue time because
+// demotion thresholds depend only on cumulative bytes.
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+struct PiasSegment {
+  int level;    // 0 = highest priority
+  Bytes bytes;  // > 0
+};
+
+/// Splits a flow of `size` bytes into priority segments. With PIAS disabled
+/// the whole flow is one level-0 segment.
+std::vector<PiasSegment> pias_split(Bytes size, const PiasConfig& config);
+
+/// Number of priority levels in use under `config`.
+int pias_levels(const PiasConfig& config);
+
+}  // namespace negotiator

@@ -1,0 +1,40 @@
+// Relay queues at an intermediate ToR: data received on behalf of another
+// destination, awaiting its second hop. Plain FIFOs — the paper's priority
+// mechanism "does not apply to data at intermediate nodes" (§4.1).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace negotiator {
+
+struct RelayChunk {
+  FlowId flow;
+  Bytes bytes;
+  Nanos received_at;
+};
+
+/// Relay queues for one ToR, indexed by final destination.
+class RelayQueueSet {
+ public:
+  explicit RelayQueueSet(int num_tors);
+
+  void enqueue(TorId final_dst, FlowId flow, Bytes bytes, Nanos now);
+
+  /// At most `max_payload` bytes of one flow bound for `final_dst`.
+  std::optional<RelayChunk> dequeue_packet(TorId final_dst, Bytes max_payload);
+
+  Bytes bytes_for(TorId final_dst) const;
+  Bytes total_bytes() const { return total_bytes_; }
+  bool empty_for(TorId final_dst) const { return bytes_for(final_dst) == 0; }
+
+ private:
+  std::vector<std::deque<RelayChunk>> queues_;
+  std::vector<Bytes> queue_bytes_;
+  Bytes total_bytes_{0};
+};
+
+}  // namespace negotiator

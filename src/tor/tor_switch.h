@@ -1,0 +1,62 @@
+// The buffered side of a ToR: per-destination priority queues plus an
+// "active destination" index so schedulers can iterate only over
+// destinations with pending data.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "tor/dest_queue.h"
+#include "workload/flow.h"
+
+namespace negotiator {
+
+class TorSwitch {
+ public:
+  TorSwitch(TorId id, int num_tors, const PiasConfig& pias);
+
+  TorId id() const { return id_; }
+  int num_tors() const { return static_cast<int>(queues_.size()); }
+
+  /// Buffers a flow that the hosts below pushed up (flow.src == id()).
+  void accept_flow(const Flow& flow, Nanos now);
+
+  /// Buffers raw bytes towards `dst` at `level` (retransmits, relay input).
+  void enqueue_bytes(TorId dst, FlowId flow, Bytes bytes, Nanos now,
+                     int level);
+
+  /// Draws one packet bound for `dst` (highest priority first).
+  std::optional<QueuedPacket> dequeue_packet(TorId dst, Bytes max_payload);
+
+  /// Draws one packet of only the lowest-priority data (selective relay).
+  std::optional<QueuedPacket> dequeue_elephant_packet(TorId dst,
+                                                      Bytes max_payload);
+
+  /// Puts a packet back at the head of its queue (failed transmission).
+  void requeue_front(TorId dst, const QueuedPacket& packet);
+
+  Bytes pending_to(TorId dst) const;
+  const DestQueue& queue_to(TorId dst) const;
+  Bytes total_pending() const { return total_pending_; }
+
+  /// Destinations with pending data, ascending. Cheap to iterate; kept in
+  /// sync by the enqueue/dequeue paths.
+  const std::set<TorId>& active_destinations() const { return active_; }
+
+  const PiasConfig& pias() const { return pias_; }
+
+ private:
+  DestQueue& queue_mut(TorId dst);
+  void note_queue_change(TorId dst);
+
+  TorId id_;
+  PiasConfig pias_;
+  std::vector<DestQueue> queues_;
+  std::set<TorId> active_;
+  Bytes total_pending_{0};
+};
+
+}  // namespace negotiator

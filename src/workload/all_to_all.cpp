@@ -1,0 +1,30 @@
+#include "workload/all_to_all.h"
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+std::vector<Flow> make_all_to_all(int num_tors, Bytes flow_size, Nanos when,
+                                  FlowId first_id, int group) {
+  NEG_ASSERT(num_tors >= 2, "need >= 2 ToRs");
+  NEG_ASSERT(flow_size > 0, "flow size must be positive");
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(num_tors) * (num_tors - 1));
+  FlowId id = first_id;
+  for (TorId s = 0; s < num_tors; ++s) {
+    for (TorId d = 0; d < num_tors; ++d) {
+      if (s == d) continue;
+      Flow f;
+      f.id = id++;
+      f.src = s;
+      f.dst = d;
+      f.size = flow_size;
+      f.arrival = when;
+      f.group = group;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+}  // namespace negotiator

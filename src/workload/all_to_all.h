@@ -1,0 +1,15 @@
+// Synchronized all-to-all workload (§4.2 Fig. 7b): every ToR sends one
+// equal-sized flow to every other ToR at the same instant, as in a
+// collective-communication phase of distributed training.
+#pragma once
+
+#include <vector>
+
+#include "workload/flow.h"
+
+namespace negotiator {
+
+std::vector<Flow> make_all_to_all(int num_tors, Bytes flow_size, Nanos when,
+                                  FlowId first_id = 0, int group = 2);
+
+}  // namespace negotiator

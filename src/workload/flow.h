@@ -1,0 +1,24 @@
+// A flow as seen by the fabric: ToR-to-ToR, per §4.1 ("we consider ToRs as
+// endpoints; FCT and goodput measurements are taken from the ToRs'
+// perspective").
+#pragma once
+
+#include "common/types.h"
+
+namespace negotiator {
+
+struct Flow {
+  FlowId id{kInvalidFlow};
+  TorId src{kInvalidTor};
+  TorId dst{kInvalidTor};
+  Bytes size{0};
+  Nanos arrival{0};
+
+  /// Tag for grouping in experiments (e.g. background vs incast traffic).
+  int group{0};
+};
+
+/// Mice-flow threshold used throughout the evaluation (§4.1).
+inline constexpr Bytes kMiceFlowBytes = 10'000;
+
+}  // namespace negotiator

@@ -1,0 +1,42 @@
+#include "workload/generator.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "workload/poisson.h"
+
+namespace negotiator {
+
+WorkloadGenerator::WorkloadGenerator(SizeDistribution sizes, int num_tors,
+                                     Rate host_rate, double load, Rng rng)
+    : sizes_(std::move(sizes)), num_tors_(num_tors), rng_(rng) {
+  NEG_ASSERT(num_tors >= 2, "need >= 2 ToRs");
+  NEG_ASSERT(load > 0.0, "load must be positive");
+  rate_per_ns_ =
+      load * host_rate.bytes_per_ns * num_tors / sizes_.mean_bytes();
+}
+
+std::vector<Flow> WorkloadGenerator::generate(Nanos start, Nanos duration,
+                                              FlowId first_id, int group) {
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(rate_per_ns_ * duration * 1.1) + 16);
+  PoissonProcess arrivals(rate_per_ns_, rng_.fork());
+  FlowId id = first_id;
+  for (;;) {
+    const Nanos t = arrivals.next_arrival();
+    if (t >= duration) break;
+    Flow f;
+    f.id = id++;
+    f.src = static_cast<TorId>(rng_.next_below(num_tors_));
+    do {
+      f.dst = static_cast<TorId>(rng_.next_below(num_tors_));
+    } while (f.dst == f.src);
+    f.size = sizes_.sample(rng_);
+    f.arrival = start + t;
+    f.group = group;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,39 @@
+// Load-driven random workload (§4.1).
+//
+// The network load is L = F / (R * N * tau): F mean flow size, R per-ToR
+// host-aggregate bandwidth, N ToR count, tau mean inter-arrival time.
+// Solving for the arrival rate: lambda = L * R * N / F flows per ns,
+// network wide. Sources and destinations are uniform at random (distinct).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/flow.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+
+class WorkloadGenerator {
+ public:
+  /// The distribution is copied, so temporaries are safe to pass.
+  WorkloadGenerator(SizeDistribution sizes, int num_tors, Rate host_rate,
+                    double load, Rng rng);
+
+  /// Network-wide flow arrival rate implied by the load model.
+  double flow_rate_per_ns() const { return rate_per_ns_; }
+
+  /// All flows arriving in [start, start + duration). Flow ids start at
+  /// `first_id`; `group` tags every generated flow.
+  std::vector<Flow> generate(Nanos start, Nanos duration, FlowId first_id = 0,
+                             int group = 0);
+
+ private:
+  SizeDistribution sizes_;
+  int num_tors_;
+  double rate_per_ns_;
+  Rng rng_;
+};
+
+}  // namespace negotiator

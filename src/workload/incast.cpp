@@ -1,0 +1,64 @@
+#include "workload/incast.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "workload/poisson.h"
+
+namespace negotiator {
+
+std::vector<Flow> make_incast(int num_tors, int degree, Bytes flow_size,
+                              TorId dst, Nanos when, Rng& rng, FlowId first_id,
+                              int group) {
+  NEG_ASSERT(degree >= 1 && degree < num_tors, "incast degree out of range");
+  NEG_ASSERT(flow_size > 0, "incast flow size must be positive");
+  // Partial Fisher-Yates over the candidate sources.
+  std::vector<TorId> candidates;
+  candidates.reserve(static_cast<std::size_t>(num_tors) - 1);
+  for (TorId t = 0; t < num_tors; ++t) {
+    if (t != dst) candidates.push_back(t);
+  }
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(degree));
+  for (int i = 0; i < degree; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + rng.next_below(static_cast<std::int64_t>(candidates.size()) - i));
+    std::swap(candidates[static_cast<std::size_t>(i)], candidates[j]);
+    Flow f;
+    f.id = first_id + i;
+    f.src = candidates[static_cast<std::size_t>(i)];
+    f.dst = dst;
+    f.size = flow_size;
+    f.arrival = when;
+    f.group = group;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<Flow> make_incast_mix(int num_tors, int degree, Bytes flow_size,
+                                  double bandwidth_fraction, Rate host_rate,
+                                  Nanos start, Nanos duration, Rng& rng,
+                                  FlowId first_id, int group) {
+  NEG_ASSERT(bandwidth_fraction > 0.0, "bandwidth fraction must be positive");
+  const double bytes_per_ns =
+      bandwidth_fraction * host_rate.bytes_per_ns * num_tors;
+  const double event_rate =
+      bytes_per_ns / (static_cast<double>(degree) * flow_size);
+  PoissonProcess events(event_rate, rng.fork());
+  std::vector<Flow> flows;
+  FlowId id = first_id;
+  for (;;) {
+    const Nanos t = events.next_arrival();
+    if (t >= duration) break;
+    const TorId dst = static_cast<TorId>(rng.next_below(num_tors));
+    auto burst =
+        make_incast(num_tors, degree, flow_size, dst, start + t, rng, id,
+                    group);
+    id += static_cast<FlowId>(burst.size());
+    flows.insert(flows.end(), burst.begin(), burst.end());
+  }
+  return flows;
+}
+
+}  // namespace negotiator

@@ -1,0 +1,28 @@
+// Incast workloads (§4.2 Fig. 7a, §4.4 Fig. 13a): D source ToRs
+// synchronously send one small flow each to the same destination.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/flow.h"
+
+namespace negotiator {
+
+/// One synchronized incast of `degree` flows of `flow_size` bytes to `dst`,
+/// all arriving at `when`. Sources are chosen uniformly without replacement
+/// (excluding `dst`). Requires degree < num_tors.
+std::vector<Flow> make_incast(int num_tors, int degree, Bytes flow_size,
+                              TorId dst, Nanos when, Rng& rng,
+                              FlowId first_id = 0, int group = 1);
+
+/// A Poisson stream of incast events consuming `bandwidth_fraction` of the
+/// network's aggregate downlink bandwidth (Fig. 13a: degree 20, 1 KB flows,
+/// 2% of bandwidth). Destinations are uniform at random per event.
+std::vector<Flow> make_incast_mix(int num_tors, int degree, Bytes flow_size,
+                                  double bandwidth_fraction, Rate host_rate,
+                                  Nanos start, Nanos duration, Rng& rng,
+                                  FlowId first_id = 0, int group = 1);
+
+}  // namespace negotiator

@@ -1,0 +1,19 @@
+#include "workload/poisson.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+PoissonProcess::PoissonProcess(double rate_per_ns, Rng rng)
+    : rate_per_ns_(rate_per_ns), rng_(rng) {
+  NEG_ASSERT(rate_per_ns > 0.0, "Poisson rate must be positive");
+}
+
+Nanos PoissonProcess::next_arrival() {
+  clock_ns_ += rng_.next_exponential(1.0 / rate_per_ns_);
+  return static_cast<Nanos>(std::llround(clock_ns_));
+}
+
+}  // namespace negotiator

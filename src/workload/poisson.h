@@ -1,0 +1,26 @@
+// Poisson arrival process with exponentially distributed inter-arrival
+// times (§4.1: "All the flows arrive based on a Poisson process").
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+class PoissonProcess {
+ public:
+  /// `rate_per_ns` arrivals per nanosecond (> 0).
+  PoissonProcess(double rate_per_ns, Rng rng);
+
+  /// Absolute time of the next arrival (monotonically increasing).
+  Nanos next_arrival();
+
+  double rate_per_ns() const { return rate_per_ns_; }
+
+ private:
+  double rate_per_ns_;
+  double clock_ns_{0.0};
+  Rng rng_;
+};
+
+}  // namespace negotiator

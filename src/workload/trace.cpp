@@ -1,0 +1,42 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace negotiator {
+
+void save_trace(const std::string& path, const std::vector<Flow>& flows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "id,src,dst,size,arrival_ns,group\n";
+  for (const Flow& f : flows) {
+    out << f.id << ',' << f.src << ',' << f.dst << ',' << f.size << ','
+        << f.arrival << ',' << f.group << '\n';
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+std::vector<Flow> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_trace: empty file " + path);
+  }
+  std::vector<Flow> flows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Flow f;
+    char comma;
+    if (!(ls >> f.id >> comma >> f.src >> comma >> f.dst >> comma >> f.size >>
+          comma >> f.arrival >> comma >> f.group)) {
+      throw std::runtime_error("load_trace: malformed line: " + line);
+    }
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace negotiator

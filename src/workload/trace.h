@@ -1,0 +1,19 @@
+// Flow-trace persistence: a simple CSV format (id,src,dst,size,arrival_ns,
+// group) so experiments can be re-run on recorded workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/flow.h"
+
+namespace negotiator {
+
+/// Writes `flows` to `path`. Throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<Flow>& flows);
+
+/// Reads a trace written by save_trace. Throws std::runtime_error on I/O or
+/// parse failure.
+std::vector<Flow> load_trace(const std::string& path);
+
+}  // namespace negotiator

@@ -1,0 +1,62 @@
+#include "topo/awgr.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+TEST(Awgr, WavelengthRoutingFunction) {
+  Awgr awgr(8);
+  // input i on wavelength w exits output (i + w) mod W
+  EXPECT_EQ(awgr.output_for(0, 0), 0);
+  EXPECT_EQ(awgr.output_for(3, 5), 0);
+  EXPECT_EQ(awgr.output_for(7, 7), 6);
+}
+
+TEST(Awgr, WavelengthForInvertsOutputFor) {
+  Awgr awgr(16);
+  for (int in = 0; in < 16; ++in) {
+    for (int out = 0; out < 16; ++out) {
+      const int w = awgr.wavelength_for(in, out);
+      EXPECT_EQ(awgr.output_for(in, w), out);
+    }
+  }
+}
+
+TEST(Awgr, FullyPassiveNonBlockingPermutation) {
+  // Any permutation of inputs to outputs is routable simultaneously.
+  Awgr awgr(8);
+  for (int in = 0; in < 8; ++in) {
+    EXPECT_TRUE(awgr.try_connect(in, (in * 3 + 1) % 8));
+  }
+}
+
+TEST(Awgr, DetectsOutputCollision) {
+  Awgr awgr(4);
+  EXPECT_TRUE(awgr.try_connect(0, 2));
+  EXPECT_FALSE(awgr.try_connect(1, 2)) << "two signals on one output";
+}
+
+TEST(Awgr, DetectsInputReuse) {
+  Awgr awgr(4);
+  EXPECT_TRUE(awgr.try_connect(0, 1));
+  EXPECT_FALSE(awgr.try_connect(0, 2)) << "one laser, one wavelength at a time";
+}
+
+TEST(Awgr, ResetSlotClearsUsage) {
+  Awgr awgr(4);
+  EXPECT_TRUE(awgr.try_connect(0, 1));
+  awgr.reset_slot();
+  EXPECT_TRUE(awgr.try_connect(0, 1));
+  EXPECT_TRUE(awgr.try_connect(1, 2));
+}
+
+TEST(Awgr, TracksActiveInputs) {
+  Awgr awgr(4);
+  awgr.try_connect(2, 3);
+  EXPECT_EQ(awgr.active_inputs_by_output()[3], 2);
+  EXPECT_EQ(awgr.active_inputs_by_output()[0], -1);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,84 @@
+// §3.6.3 time-synchronization model: drift, per-epoch resync and the
+// guardband sizing rule.
+#include "core/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace negotiator {
+namespace {
+
+ClockSyncConfig paper_defaults() { return ClockSyncConfig{}; }
+
+TEST(ClockSync, OffsetGrowsLinearlyWithElapsedTime) {
+  ClockSyncModel model(8, paper_defaults(), Rng(1));
+  for (TorId t = 0; t < 8; ++t) {
+    const double at_1us = std::abs(model.offset_ns(t, 1'000));
+    const double at_2us = std::abs(model.offset_ns(t, 2'000));
+    EXPECT_GE(at_2us, at_1us);
+  }
+}
+
+TEST(ClockSync, DriftRatesBounded) {
+  ClockSyncConfig cfg;
+  cfg.drift_ppm = 25.0;
+  ClockSyncModel model(64, cfg, Rng(2));
+  for (TorId t = 0; t < 64; ++t) {
+    EXPECT_LE(std::abs(model.drift_rate_ppm(t)), 25.0);
+  }
+}
+
+TEST(ClockSync, PaperGuardbandSufficesAtPaperParameters) {
+  // 25 ppm drift over one 3.66 us epoch = 0.09 ns per ToR; with 5 ns tuning
+  // and sub-ns sync error the 10 ns guardband has ample margin (§3.6.3:
+  // "a guardband of several nanoseconds is adequate").
+  ClockSyncModel model(128, paper_defaults(), Rng(3));
+  EXPECT_TRUE(model.guardband_sufficient(10));
+  EXPECT_LE(model.required_guardband_ns(), 10);
+}
+
+TEST(ClockSync, WorstSkewBoundsAnyPair) {
+  ClockSyncModel model(32, paper_defaults(), Rng(4));
+  const double worst = model.worst_pairwise_skew_ns();
+  const Nanos interval = paper_defaults().sync_interval_ns;
+  for (TorId a = 0; a < 32; ++a) {
+    for (TorId b = 0; b < 32; ++b) {
+      const double skew =
+          std::abs(model.offset_ns(a, interval) - model.offset_ns(b, interval));
+      EXPECT_LE(skew, worst + 1e-9);
+    }
+  }
+}
+
+TEST(ClockSync, CheapOscillatorsNeedBiggerGuardbands) {
+  ClockSyncConfig bad;
+  bad.drift_ppm = 5'000.0;        // pathological oscillator
+  bad.sync_interval_ns = 36'600;  // sync only every 10 epochs
+  ClockSyncModel model(128, bad, Rng(5));
+  EXPECT_FALSE(model.guardband_sufficient(10));
+  EXPECT_GT(model.required_guardband_ns(), 10);
+}
+
+TEST(ClockSync, LongerSyncIntervalNeedsMoreGuardband) {
+  ClockSyncConfig short_cfg;
+  short_cfg.sync_interval_ns = 3'660;
+  ClockSyncConfig long_cfg = short_cfg;
+  long_cfg.sync_interval_ns = 366'000;
+  ClockSyncModel short_model(64, short_cfg, Rng(6));
+  ClockSyncModel long_model(64, long_cfg, Rng(6));  // same drift draws
+  EXPECT_GE(long_model.required_guardband_ns(),
+            short_model.required_guardband_ns());
+}
+
+TEST(ClockSync, ZeroDriftStillNeedsTuningDelay) {
+  ClockSyncConfig cfg;
+  cfg.drift_ppm = 0.0;
+  cfg.sync_error_ns = 0.0;
+  cfg.tuning_delay_ns = 5.0;
+  ClockSyncModel model(8, cfg, Rng(7));
+  EXPECT_EQ(model.required_guardband_ns(), 5);
+}
+
+}  // namespace
+}  // namespace negotiator

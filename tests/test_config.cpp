@@ -1,0 +1,102 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace negotiator {
+namespace {
+
+TEST(Config, DefaultsMatchPaperSetup) {
+  NetworkConfig c;
+  EXPECT_EQ(c.num_tors, 128);
+  EXPECT_EQ(c.ports_per_tor, 8);
+  EXPECT_DOUBLE_EQ(c.port_rate().gbps(), 100.0);  // 400 Gbps * 2 / 8
+  EXPECT_EQ(c.propagation_delay_ns, 2'000);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, EpochLengthMatchesPaper) {
+  // §4.1: predefined 16 * 60ns = 0.96us, scheduled 30 * 90ns = 2.7us,
+  // epoch 3.66us.
+  NetworkConfig c;
+  EXPECT_EQ(c.predefined_slots(), 16);
+  EXPECT_EQ(c.epoch_length_ns(), 3'660);
+  c.topology = TopologyKind::kThinClos;
+  EXPECT_EQ(c.predefined_slots(), 16);
+  EXPECT_EQ(c.epoch_length_ns(), 3'660);
+}
+
+TEST(Config, PayloadSizesMatchPaper) {
+  // 50ns at 100 Gbps = 625 B minus 30 B header -> 595 B piggyback payload;
+  // 90ns = 1125 B minus 10 B header -> 1115 B scheduled payload.
+  NetworkConfig c;
+  EXPECT_EQ(c.piggyback_payload_bytes(), 595);
+  EXPECT_EQ(c.scheduled_payload_bytes(), 1115);
+}
+
+TEST(Config, GuardbandShareMatchesPaper) {
+  // §4.1: guardbands account for 4.37% of the epoch.
+  NetworkConfig c;
+  const double share = 16.0 * 10.0 / 3660.0;
+  EXPECT_NEAR(share, 0.0437, 0.0002);
+}
+
+TEST(Config, NoSpeedupHalvesPortRate) {
+  NetworkConfig c;
+  c.speedup = 1.0;
+  EXPECT_DOUBLE_EQ(c.port_rate().gbps(), 50.0);
+  EXPECT_GT(c.piggyback_payload_bytes(), 0);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, RejectsBadShapes) {
+  NetworkConfig c;
+  c.num_tors = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = NetworkConfig{};
+  c.topology = TopologyKind::kThinClos;
+  c.num_tors = 127;  // not divisible by 8
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = NetworkConfig{};
+  c.speedup = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = NetworkConfig{};
+  c.epoch.predefined_data_ns = 2;  // too short to carry the 30 B header
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsRelayVariantOnParallel) {
+  NetworkConfig c;
+  c.scheduler = SchedulerKind::kNegotiatorSelectiveRelay;
+  c.topology = TopologyKind::kParallel;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.topology = TopologyKind::kThinClos;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, RejectsIterativeWithoutIterations) {
+  NetworkConfig c;
+  c.scheduler = SchedulerKind::kNegotiatorIterative;
+  c.variant.iterations = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, SummaryMentionsKeyParameters) {
+  NetworkConfig c;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("128 ToRs"), std::string::npos);
+  EXPECT_NE(s.find("parallel"), std::string::npos);
+  EXPECT_NE(s.find("negotiator"), std::string::npos);
+}
+
+TEST(Config, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(TopologyKind::kParallel), "parallel");
+  EXPECT_STREQ(to_string(TopologyKind::kThinClos), "thin-clos");
+  EXPECT_STREQ(to_string(SchedulerKind::kNegotiator), "negotiator");
+  EXPECT_STREQ(to_string(SchedulerKind::kOblivious), "oblivious");
+  EXPECT_STREQ(to_string(SchedulerKind::kProjector), "projector");
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,128 @@
+#include "tor/dest_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+PiasConfig pias3() { return PiasConfig{}; }
+
+TEST(DestQueue, StartsEmpty) {
+  DestQueue q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_bytes(), 0);
+  EXPECT_FALSE(q.dequeue_packet(1'000).has_value());
+}
+
+TEST(DestQueue, EnqueueFlowSplitsAcrossLevels) {
+  DestQueue q(3);
+  q.enqueue_flow(7, 50'000, 100, pias3());
+  EXPECT_EQ(q.total_bytes(), 50'000);
+  EXPECT_EQ(q.bytes_at_level(0), 1'000);
+  EXPECT_EQ(q.bytes_at_level(1), 9'000);
+  EXPECT_EQ(q.bytes_at_level(2), 40'000);
+}
+
+TEST(DestQueue, DequeueHighestPriorityFirst) {
+  DestQueue q(3);
+  q.enqueue_bytes(1, 500, 0, 2);   // elephant data first in time
+  q.enqueue_bytes(2, 300, 10, 0);  // mice data later
+  const auto pkt = q.dequeue_packet(1'000);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->flow, 2) << "level 0 must be served before level 2";
+  EXPECT_EQ(pkt->bytes, 300);
+  EXPECT_EQ(pkt->level, 0);
+}
+
+TEST(DestQueue, PacketRespectsMaxPayload) {
+  DestQueue q(1);
+  q.enqueue_bytes(3, 5'000, 0, 0);
+  const auto pkt = q.dequeue_packet(1'115);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->bytes, 1'115);
+  EXPECT_EQ(q.total_bytes(), 3'885);
+}
+
+TEST(DestQueue, PacketNeverMixesFlows) {
+  DestQueue q(1);
+  q.enqueue_bytes(1, 100, 0, 0);
+  q.enqueue_bytes(2, 100, 1, 0);
+  const auto pkt = q.dequeue_packet(1'000);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->flow, 1);
+  EXPECT_EQ(pkt->bytes, 100) << "only the head flow's bytes in one packet";
+}
+
+TEST(DestQueue, FifoWithinLevel) {
+  DestQueue q(1);
+  q.enqueue_bytes(1, 100, 0, 0);
+  q.enqueue_bytes(2, 100, 1, 0);
+  q.enqueue_bytes(3, 100, 2, 0);
+  EXPECT_EQ(q.dequeue_packet(1'000)->flow, 1);
+  EXPECT_EQ(q.dequeue_packet(1'000)->flow, 2);
+  EXPECT_EQ(q.dequeue_packet(1'000)->flow, 3);
+}
+
+TEST(DestQueue, RequeueFrontRestoresHead) {
+  DestQueue q(1);
+  q.enqueue_bytes(1, 1'000, 0, 0);
+  auto pkt = q.dequeue_packet(400);
+  ASSERT_TRUE(pkt.has_value());
+  q.requeue_front(*pkt);
+  EXPECT_EQ(q.total_bytes(), 1'000);
+  const auto again = q.dequeue_packet(1'000);
+  EXPECT_EQ(again->flow, 1);
+  EXPECT_EQ(again->bytes, 1'000) << "requeued bytes merge with the head";
+}
+
+TEST(DestQueue, DequeueAtLeastSkipsHighLevels) {
+  DestQueue q(3);
+  q.enqueue_flow(9, 50'000, 0, pias3());
+  const auto pkt = q.dequeue_packet_at_least(1'000, 2);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(pkt->level, 2);
+  EXPECT_EQ(q.bytes_at_level(0), 1'000) << "mice data untouched";
+}
+
+TEST(DestQueue, HolEnqueueTimeTracksHead) {
+  DestQueue q(3);
+  EXPECT_EQ(q.hol_enqueue_time(0), kNeverNs);
+  q.enqueue_bytes(1, 100, 42, 0);
+  q.enqueue_bytes(2, 100, 50, 0);
+  EXPECT_EQ(q.hol_enqueue_time(0), 42);
+  (void)q.dequeue_packet(100);
+  EXPECT_EQ(q.hol_enqueue_time(0), 50);
+}
+
+TEST(DestQueue, WeightedHolDelayFormula) {
+  // HoL = (1-a)(q0+q1)/2 + a*q2 (A.2.3).
+  DestQueue q(3);
+  q.enqueue_bytes(1, 100, 0, 0);     // waited 100 at now=100
+  q.enqueue_bytes(2, 100, 60, 1);    // waited 40
+  q.enqueue_bytes(3, 100, 20, 2);    // waited 80
+  const double a = 0.001;
+  const double expect = (1 - a) * (100 + 40) / 2.0 + a * 80;
+  EXPECT_NEAR(static_cast<double>(q.weighted_hol_delay(100, a)), expect, 1.0);
+}
+
+TEST(DestQueue, WeightedHolDelayEmptyLevelsCountZero) {
+  DestQueue q(3);
+  q.enqueue_bytes(1, 100, 0, 2);
+  const double a = 0.5;
+  EXPECT_NEAR(static_cast<double>(q.weighted_hol_delay(200, a)), a * 200, 1.0);
+}
+
+TEST(DestQueue, TotalConservedAcrossOperations) {
+  DestQueue q(3);
+  Bytes expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    q.enqueue_flow(i, 2'500 * (i + 1) % 30'000 + 1, i, pias3());
+    expected += 2'500 * (i + 1) % 30'000 + 1;
+  }
+  while (auto pkt = q.dequeue_packet(1'115)) expected -= pkt->bytes;
+  EXPECT_EQ(expected, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace negotiator

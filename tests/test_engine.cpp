@@ -1,0 +1,202 @@
+// End-to-end integration tests of the NegotiaToR fabric on small networks.
+#include <gtest/gtest.h>
+
+#include "engine/runner.h"
+#include "workload/all_to_all.h"
+#include "workload/generator.h"
+#include "workload/incast.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+NetworkConfig small(TopologyKind topo) {
+  NetworkConfig c;
+  c.num_tors = 16;
+  c.ports_per_tor = 4;
+  c.topology = topo;
+  return c;
+}
+
+Flow one_flow(TorId src, TorId dst, Bytes size, Nanos arrival, FlowId id = 1,
+              int group = 0) {
+  Flow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  f.arrival = arrival;
+  f.group = group;
+  return f;
+}
+
+TEST(Engine, SingleMouseDeliveredByPiggyback) {
+  // A sub-595 B flow needs no scheduling at all: the next predefined phase
+  // carries it whole (§3.4.1).
+  auto fab = make_fabric(small(TopologyKind::kParallel));
+  fab->add_flow(one_flow(0, 5, 400, 0));
+  fab->run_until(3 * fab->config().epoch_length_ns());
+  ASSERT_EQ(fab->fct().completed(), 1u);
+  const FctSample& s = fab->fct().samples()[0];
+  // Must finish within ~1 epoch + propagation: far below the 2-epoch
+  // scheduling delay.
+  EXPECT_LT(s.fct, fab->config().epoch_length_ns() +
+                       fab->config().propagation_delay_ns + 1'000);
+}
+
+TEST(Engine, MouseBypassOnBothTopologies) {
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    auto fab = make_fabric(small(topo));
+    fab->add_flow(one_flow(3, 9, 500, 100));
+    fab->run_until(4 * fab->config().epoch_length_ns());
+    ASSERT_EQ(fab->fct().completed(), 1u) << to_string(topo);
+  }
+}
+
+TEST(Engine, LargerFlowUsesScheduledPhase) {
+  auto fab = make_fabric(small(TopologyKind::kParallel));
+  const Bytes size = 200'000;
+  fab->add_flow(one_flow(0, 5, size, 0));
+  fab->run_until(40 * fab->config().epoch_length_ns());
+  ASSERT_EQ(fab->fct().completed(), 1u);
+  const FctSample& s = fab->fct().samples()[0];
+  // One match moves 30 * 1115 B per epoch; a 200 KB flow needs several
+  // epochs, after the ~2-epoch scheduling delay.
+  EXPECT_GT(s.fct, 2 * fab->config().epoch_length_ns());
+  EXPECT_EQ(fab->total_backlog(), 0);
+}
+
+TEST(Engine, DeliveredBytesConserved) {
+  NetworkConfig cfg = small(TopologyKind::kParallel);
+  Runner runner(cfg);
+  const auto sizes = SizeDistribution::hadoop();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 0.4, Rng(7));
+  const Nanos dur = 300'000;
+  auto flows = gen.generate(0, dur);
+  Bytes offered = 0;
+  for (const Flow& f : flows) offered += f.size;
+  runner.add_flows(flows);
+  runner.fabric().goodput().set_measure_interval(0, 100 * dur);
+  runner.fabric().run_until(100 * dur);  // generous drain time
+  EXPECT_EQ(runner.fabric().goodput().delivered_bytes(), offered);
+  EXPECT_EQ(runner.fabric().total_backlog(), 0);
+  EXPECT_EQ(runner.fabric().fct().completed(), flows.size());
+}
+
+TEST(Engine, FctNeverBelowPropagationDelay) {
+  NetworkConfig cfg = small(TopologyKind::kParallel);
+  Runner runner(cfg);
+  const auto sizes = SizeDistribution::google();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 0.3, Rng(8));
+  runner.add_flows(gen.generate(0, 200'000));
+  runner.fabric().run_until(5'000'000);
+  ASSERT_GT(runner.fabric().fct().completed(), 0u);
+  for (const FctSample& s : runner.fabric().fct().samples()) {
+    EXPECT_GE(s.fct, cfg.propagation_delay_ns);
+  }
+}
+
+TEST(Engine, InOrderPerPairDelivery) {
+  // §3.6.5: two flows of one pair complete in arrival order when sizes are
+  // equal (FIFO per level).
+  auto fab = make_fabric(small(TopologyKind::kParallel));
+  fab->add_flow(one_flow(0, 5, 900, 0, /*id=*/1));
+  fab->add_flow(one_flow(0, 5, 900, 10, /*id=*/2));
+  fab->run_until(6 * fab->config().epoch_length_ns());
+  ASSERT_EQ(fab->fct().completed(), 2u);
+  Nanos finish1 = 0, finish2 = 0;
+  for (const FctSample& s : fab->fct().samples()) {
+    if (s.flow == 1) finish1 = s.arrival + s.fct;
+    if (s.flow == 2) finish2 = s.arrival + s.fct;
+  }
+  EXPECT_LT(finish1, finish2);
+}
+
+TEST(Engine, IncastCompletesFast) {
+  // The bypass handles incasts: every pair gets one piggyback packet per
+  // epoch, so a 1 KB-per-source incast finishes in ~2 epochs regardless of
+  // degree (Fig. 7a).
+  NetworkConfig cfg = small(TopologyKind::kParallel);
+  Runner runner(cfg);
+  Rng rng(9);
+  runner.add_flows(make_incast(cfg.num_tors, 10, 1'000, 0, 1'000, rng, 0, 5));
+  const Nanos deadline = 30 * cfg.epoch_length_ns();
+  const Nanos finish = runner.finish_time_of_group(5, 10, deadline);
+  ASSERT_NE(finish, kNeverNs);
+  EXPECT_LT(finish - 1'000, 3 * cfg.epoch_length_ns() +
+                                cfg.propagation_delay_ns);
+}
+
+TEST(Engine, AllToAllDrainsCompletely) {
+  NetworkConfig cfg = small(TopologyKind::kThinClos);
+  Runner runner(cfg);
+  runner.add_flows(make_all_to_all(cfg.num_tors, 5'000, 0, 0, 2));
+  const Nanos finish = runner.finish_time_of_group(
+      2, static_cast<std::size_t>(16 * 15), 400 * cfg.epoch_length_ns());
+  EXPECT_NE(finish, kNeverNs);
+  EXPECT_EQ(runner.fabric().total_backlog(), 0);
+}
+
+TEST(Engine, GoodputTracksLoad) {
+  for (double load : {0.2, 0.6}) {
+    NetworkConfig cfg = small(TopologyKind::kParallel);
+    Runner runner(cfg);
+    const auto sizes = SizeDistribution::google();  // light-tailed: drains
+    WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), load,
+                          Rng(10));
+    const Nanos dur = 2'000'000;
+    runner.add_flows(gen.generate(0, dur));
+    const RunResult r = runner.run(dur, dur / 4);
+    EXPECT_NEAR(r.goodput, load, load * 0.25) << "load " << load;
+  }
+}
+
+TEST(Engine, MatchRatioNearTheoryUnderSaturation) {
+  // §3.2.2 / Fig. 14: E[Y] = 1 - (1 - 1/n)^n.
+  NetworkConfig cfg;  // full 128-ToR fabric for the theory comparison
+  cfg.num_tors = 32;
+  cfg.ports_per_tor = 4;
+  Runner runner(cfg);
+  const auto sizes = SizeDistribution::hadoop();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 1.0, Rng(11));
+  const Nanos dur = 1'500'000;
+  runner.add_flows(gen.generate(0, dur));
+  const RunResult r = runner.run(dur, dur / 2);
+  const double theory = 1.0 - std::pow(1.0 - 1.0 / 32.0, 32);
+  EXPECT_NEAR(r.mean_match_ratio, theory, 0.08);
+}
+
+TEST(Engine, PiggybackDisabledStillDelivers) {
+  NetworkConfig cfg = small(TopologyKind::kParallel);
+  cfg.piggyback = false;
+  auto fab = make_fabric(cfg);
+  fab->add_flow(one_flow(0, 5, 400, 0));
+  fab->run_until(10 * cfg.epoch_length_ns());
+  ASSERT_EQ(fab->fct().completed(), 1u);
+  // Without the bypass the mouse pays the full scheduling delay.
+  EXPECT_GT(fab->fct().samples()[0].fct, 2 * cfg.epoch_length_ns());
+}
+
+TEST(Engine, RunnerResultFields) {
+  NetworkConfig cfg = small(TopologyKind::kParallel);
+  Runner runner(cfg);
+  const auto sizes = SizeDistribution::google();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 0.3, Rng(12));
+  runner.add_flows(gen.generate(0, 500'000));
+  const RunResult r = runner.run(500'000);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.mice.count, 0u);
+  EXPECT_GT(r.goodput, 0.0);
+  EXPECT_EQ(r.epoch_ns, cfg.epoch_length_ns());
+  EXPECT_GT(r.mice.p99_ns, r.mice.p50_ns * 0.99);
+  EXPECT_GE(r.mice.max_ns, r.mice.p99_ns);
+}
+
+TEST(Engine, RejectsFlowsArrivingInThePast) {
+  auto fab = make_fabric(small(TopologyKind::kParallel));
+  fab->run_until(100'000);
+  EXPECT_DEATH(fab->add_flow(one_flow(0, 1, 100, 50)), "past");
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace negotiator {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNeverNs);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&](Nanos) { order.push_back(3); });
+  q.schedule(10, [&](Nanos) { order.push_back(1); });
+  q.schedule(20, [&](Nanos) { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i](Nanos) { order.push_back(i); });
+  }
+  q.run_until(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&](Nanos) { ++fired; });
+  q.schedule(11, [&](Nanos) { ++fired; });
+  q.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.next_time(), 11);
+}
+
+TEST(EventQueue, CallbackReceivesItsTimestamp) {
+  EventQueue q;
+  Nanos seen = -1;
+  q.schedule(77, [&](Nanos t) { seen = t; });
+  q.run_next();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<Nanos> fired;
+  q.schedule(1, [&](Nanos t) {
+    fired.push_back(t);
+    q.schedule(t + 1, [&](Nanos t2) { fired.push_back(t2); });
+  });
+  q.run_until(10);
+  EXPECT_EQ(fired, (std::vector<Nanos>{1, 2}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&](Nanos) { ++fired; });
+  q.clear();
+  q.run_until(100);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulation, AdvancesClockAndFiresEvents) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  int fired = 0;
+  sim.schedule_in(50, [&](Nanos) { ++fired; });
+  sim.advance_to(49);
+  EXPECT_EQ(fired, 0);
+  sim.advance_to(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  sim.advance_to(100);
+  Nanos seen = -1;
+  sim.schedule_in(5, [&](Nanos t) { seen = t; });
+  sim.advance_to(105);
+  EXPECT_EQ(seen, 105);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,83 @@
+#include "core/fault_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+TEST(FaultPlane, NothingExcludedInitially) {
+  FaultPlane fp(4, 2);
+  EXPECT_FALSE(fp.tx_excluded(0, 0));
+  EXPECT_FALSE(fp.rx_excluded(3, 1));
+  EXPECT_EQ(fp.excluded_count(), 0);
+}
+
+TEST(FaultPlane, ConsecutiveMissesTriggerExclusionAfterBroadcast) {
+  FaultPlane fp(4, 2, /*threshold=*/3);
+  for (int i = 0; i < 3; ++i) fp.observe_ingress(1, 0, false);
+  EXPECT_FALSE(fp.rx_excluded(1, 0)) << "not before the epoch-end broadcast";
+  fp.end_epoch();
+  EXPECT_TRUE(fp.rx_excluded(1, 0));
+  EXPECT_EQ(fp.excluded_count(), 1);
+}
+
+TEST(FaultPlane, IntermittentMissesDoNotTrigger) {
+  // A single failed egress upstream produces non-consecutive misses at the
+  // receiver; the separate-direction design must not overreact (§3.6.1).
+  FaultPlane fp(4, 2, /*threshold=*/3);
+  for (int i = 0; i < 20; ++i) {
+    fp.observe_ingress(1, 0, false);
+    fp.observe_ingress(1, 0, false);
+    fp.observe_ingress(1, 0, true);  // another source still gets through
+  }
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(1, 0));
+}
+
+TEST(FaultPlane, EgressDetectedIndependently) {
+  FaultPlane fp(4, 2, 3);
+  for (int i = 0; i < 3; ++i) fp.observe_egress(2, 1, false);
+  fp.end_epoch();
+  EXPECT_TRUE(fp.tx_excluded(2, 1));
+  EXPECT_FALSE(fp.rx_excluded(2, 1)) << "directions are independent";
+}
+
+TEST(FaultPlane, RecoveryReincludesAfterConsecutiveHits) {
+  FaultPlane fp(2, 1, 3);
+  for (int i = 0; i < 3; ++i) fp.observe_ingress(0, 0, false);
+  fp.end_epoch();
+  ASSERT_TRUE(fp.rx_excluded(0, 0));
+  // Light returns.
+  for (int i = 0; i < 3; ++i) fp.observe_ingress(0, 0, true);
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(0, 0));
+  EXPECT_EQ(fp.excluded_count(), 0);
+}
+
+TEST(FaultPlane, HitResetsMissStreak) {
+  FaultPlane fp(2, 1, 3);
+  fp.observe_ingress(0, 0, false);
+  fp.observe_ingress(0, 0, false);
+  fp.observe_ingress(0, 0, true);
+  fp.observe_ingress(0, 0, false);
+  fp.observe_ingress(0, 0, false);
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(0, 0));
+}
+
+TEST(FaultPlane, MultiplePortsTrackedSeparately) {
+  FaultPlane fp(2, 4, 2);
+  for (int i = 0; i < 2; ++i) {
+    fp.observe_ingress(1, 0, false);
+    fp.observe_ingress(1, 2, false);
+    fp.observe_ingress(1, 1, true);
+  }
+  fp.end_epoch();
+  EXPECT_TRUE(fp.rx_excluded(1, 0));
+  EXPECT_FALSE(fp.rx_excluded(1, 1));
+  EXPECT_TRUE(fp.rx_excluded(1, 2));
+  EXPECT_EQ(fp.excluded_count(), 2);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,79 @@
+#include "tor/pias.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+PiasConfig enabled() { return PiasConfig{}; }
+PiasConfig disabled() {
+  PiasConfig c;
+  c.enabled = false;
+  return c;
+}
+
+TEST(Pias, LevelsMatchConfig) {
+  EXPECT_EQ(pias_levels(enabled()), 3);
+  EXPECT_EQ(pias_levels(disabled()), 1);
+}
+
+TEST(Pias, TinyFlowAllHighestPriority) {
+  const auto segs = pias_split(500, enabled());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].level, 0);
+  EXPECT_EQ(segs[0].bytes, 500);
+}
+
+TEST(Pias, ExactFirstThreshold) {
+  const auto segs = pias_split(1'000, enabled());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].bytes, 1'000);
+}
+
+TEST(Pias, MediumFlowSplitsInTwo) {
+  // §4.1: first 1KB, then the following 9KB, then the rest.
+  const auto segs = pias_split(5'000, enabled());
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].level, 0);
+  EXPECT_EQ(segs[0].bytes, 1'000);
+  EXPECT_EQ(segs[1].level, 1);
+  EXPECT_EQ(segs[1].bytes, 4'000);
+}
+
+TEST(Pias, ElephantSplitsInThree) {
+  const auto segs = pias_split(1'000'000, enabled());
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].bytes, 1'000);
+  EXPECT_EQ(segs[1].bytes, 9'000);
+  EXPECT_EQ(segs[2].level, 2);
+  EXPECT_EQ(segs[2].bytes, 990'000);
+}
+
+TEST(Pias, SegmentsSumToFlowSize) {
+  for (Bytes size : {1, 999, 1'000, 1'001, 10'000, 10'001, 123'456}) {
+    Bytes total = 0;
+    for (const auto& seg : pias_split(size, enabled())) total += seg.bytes;
+    EXPECT_EQ(total, size);
+  }
+}
+
+TEST(Pias, DisabledIsSingleSegment) {
+  const auto segs = pias_split(1'000'000, disabled());
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].level, 0);
+  EXPECT_EQ(segs[0].bytes, 1'000'000);
+}
+
+TEST(Pias, CustomThresholds) {
+  PiasConfig c;
+  c.first_threshold = 100;
+  c.second_threshold = 400;
+  const auto segs = pias_split(1'000, c);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].bytes, 100);
+  EXPECT_EQ(segs[1].bytes, 400);
+  EXPECT_EQ(segs[2].bytes, 500);
+}
+
+}  // namespace
+}  // namespace negotiator

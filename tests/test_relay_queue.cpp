@@ -1,0 +1,68 @@
+#include "tor/relay_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+TEST(RelayQueue, StartsEmpty) {
+  RelayQueueSet r(8);
+  EXPECT_EQ(r.total_bytes(), 0);
+  EXPECT_TRUE(r.empty_for(3));
+  EXPECT_FALSE(r.dequeue_packet(3, 1'000).has_value());
+}
+
+TEST(RelayQueue, PerDestinationIsolation) {
+  RelayQueueSet r(8);
+  r.enqueue(1, 10, 500, 0);
+  r.enqueue(2, 11, 700, 0);
+  EXPECT_EQ(r.bytes_for(1), 500);
+  EXPECT_EQ(r.bytes_for(2), 700);
+  EXPECT_EQ(r.total_bytes(), 1'200);
+  EXPECT_FALSE(r.dequeue_packet(3, 1'000).has_value());
+}
+
+TEST(RelayQueue, FifoOrderNoPrioritization) {
+  // §4.1: priority queues do not apply at intermediate nodes.
+  RelayQueueSet r(4);
+  r.enqueue(0, 100, 1'000, 0);  // elephant chunk arrives first
+  r.enqueue(0, 200, 100, 1);    // mouse behind it
+  EXPECT_EQ(r.dequeue_packet(0, 2'000)->flow, 100)
+      << "FIFO: the mouse must wait behind the elephant chunk";
+}
+
+TEST(RelayQueue, PacketBounded) {
+  RelayQueueSet r(4);
+  r.enqueue(0, 1, 5'000, 0);
+  const auto chunk = r.dequeue_packet(0, 1'115);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->bytes, 1'115);
+  EXPECT_EQ(r.bytes_for(0), 3'885);
+}
+
+TEST(RelayQueue, SameFlowChunksCoalesce) {
+  RelayQueueSet r(4);
+  r.enqueue(0, 1, 500, 0);
+  r.enqueue(0, 1, 500, 5);
+  const auto chunk = r.dequeue_packet(0, 2'000);
+  EXPECT_EQ(chunk->bytes, 1'000);
+  EXPECT_TRUE(r.empty_for(0));
+}
+
+TEST(RelayQueue, TotalsConserved) {
+  RelayQueueSet r(4);
+  Bytes in = 0;
+  for (int i = 0; i < 100; ++i) {
+    r.enqueue(i % 4, i, 137 + i, i);
+    in += 137 + i;
+  }
+  Bytes out = 0;
+  for (TorId d = 0; d < 4; ++d) {
+    while (auto c = r.dequeue_packet(d, 1'000)) out += c->bytes;
+  }
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(r.total_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,83 @@
+#include "core/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace negotiator {
+namespace {
+
+RoundRobinRing make_ring(std::vector<TorId> members, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return RoundRobinRing(std::move(members), rng);
+}
+
+TEST(Ring, PicksOnlyEligible) {
+  auto ring = make_ring({0, 1, 2, 3});
+  const TorId picked = ring.pick([](TorId t) { return t == 2; });
+  EXPECT_EQ(picked, 2);
+}
+
+TEST(Ring, ReturnsInvalidWhenNobodyEligible) {
+  auto ring = make_ring({0, 1, 2});
+  EXPECT_EQ(ring.pick([](TorId) { return false; }), kInvalidTor);
+}
+
+TEST(Ring, PointerAdvancesPastPick) {
+  // RRM semantics: after granting, the pointer moves to the next member,
+  // so the same eligible member set rotates fairly.
+  auto ring = make_ring({0, 1, 2, 3});
+  std::vector<TorId> order;
+  for (int i = 0; i < 8; ++i) {
+    order.push_back(ring.pick([](TorId) { return true; }));
+  }
+  // All members appear exactly twice, in rotating order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(i + 4)]);
+  }
+  std::set<TorId> first(order.begin(), order.begin() + 4);
+  EXPECT_EQ(first.size(), 4u);
+}
+
+TEST(Ring, LeastRecentlyPickedWins) {
+  auto ring = make_ring({0, 1, 2, 3});
+  const TorId a = ring.pick([](TorId) { return true; });
+  // With everyone eligible again, the previous winner must come last.
+  std::vector<TorId> next;
+  for (int i = 0; i < 4; ++i) next.push_back(ring.pick([](TorId) { return true; }));
+  EXPECT_EQ(next.back(), a);
+}
+
+TEST(Ring, NoStarvationUnderContention) {
+  // Two permanently eligible members alternate regardless of others.
+  auto ring = make_ring({0, 1, 2, 3, 4, 5, 6, 7});
+  int count3 = 0, count6 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const TorId p = ring.pick([](TorId t) { return t == 3 || t == 6; });
+    if (p == 3) ++count3;
+    if (p == 6) ++count6;
+  }
+  EXPECT_EQ(count3, 50);
+  EXPECT_EQ(count6, 50);
+}
+
+TEST(Ring, RandomInitialPointerVariesWithSeed) {
+  std::set<std::size_t> pointers;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Rng rng(seed);
+    RoundRobinRing ring(std::vector<TorId>{0, 1, 2, 3, 4, 5, 6, 7}, rng);
+    pointers.insert(ring.pointer());
+  }
+  EXPECT_GT(pointers.size(), 3u) << "pointers should be randomly initialized";
+}
+
+TEST(Ring, SingleMemberRing) {
+  auto ring = make_ring({5});
+  EXPECT_EQ(ring.pick([](TorId) { return true; }), 5);
+  EXPECT_EQ(ring.pick([](TorId) { return true; }), 5);
+}
+
+}  // namespace
+}  // namespace negotiator

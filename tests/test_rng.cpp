@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace negotiator {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::int64_t bound : {1, 2, 7, 128, 1'000'000}) {
+    for (int i = 0; i < 1'000; ++i) {
+      const auto v = rng.next_below(bound);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  const double mean = 42.0;
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GT(rng.next_exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, ForkIsIndependentAndReproducible) {
+  Rng a(99);
+  Rng child1 = a.fork();
+  Rng b(99);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+  // The parent continues on a different stream than the child.
+  Rng c(99);
+  Rng child3 = c.fork();
+  EXPECT_NE(c.next_u64(), child3.next_u64());
+}
+
+}  // namespace
+}  // namespace negotiator

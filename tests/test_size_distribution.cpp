@@ -1,0 +1,96 @@
+#include "workload/size_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/flow.h"
+
+namespace negotiator {
+namespace {
+
+TEST(SizeDistribution, HadoopShapeMatchesPaper) {
+  // §4.1: "60% of the flows are less than 1KB, while more than 80% of the
+  // bits are from elephant flows larger than 100KB."
+  const auto dist = SizeDistribution::hadoop();
+  EXPECT_NEAR(dist.quantile(0.60), 1'000, 50);
+  // Byte share of flows > 100 KB via Monte Carlo.
+  Rng rng(1);
+  double total = 0, elephant = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    const auto s = static_cast<double>(dist.sample(rng));
+    total += s;
+    if (s > 100'000) elephant += s;
+  }
+  EXPECT_GT(elephant / total, 0.80);
+}
+
+TEST(SizeDistribution, WebSearchIsHeavy) {
+  // §4.4: "more than 80% flows exceed 10KB".
+  const auto dist = SizeDistribution::web_search();
+  EXPECT_LT(dist.mice_fraction(), 0.20);
+}
+
+TEST(SizeDistribution, GoogleIsLight) {
+  // §4.4: "more than 80% flows are less than 1KB".
+  const auto dist = SizeDistribution::google();
+  EXPECT_GE(dist.quantile(0.80), 1);
+  EXPECT_LE(dist.quantile(0.80), 1'000);
+  EXPECT_GT(dist.mice_fraction(), 0.85);
+}
+
+TEST(SizeDistribution, QuantileIsMonotone) {
+  for (const auto& dist :
+       {SizeDistribution::hadoop(), SizeDistribution::web_search(),
+        SizeDistribution::google()}) {
+    Bytes prev = 0;
+    for (int i = 0; i <= 100; ++i) {
+      const Bytes q = dist.quantile(i / 100.0);
+      EXPECT_GE(q, prev);
+      prev = q;
+    }
+  }
+}
+
+TEST(SizeDistribution, SampleMeanMatchesComputedMean) {
+  const auto dist = SizeDistribution::hadoop();
+  Rng rng(3);
+  double sum = 0;
+  const int n = 500'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(dist.sample(rng));
+  EXPECT_NEAR(sum / n, dist.mean_bytes(), dist.mean_bytes() * 0.05);
+}
+
+TEST(SizeDistribution, FixedAlwaysSame) {
+  const auto dist = SizeDistribution::fixed(1'000);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 1'000);
+  EXPECT_DOUBLE_EQ(dist.mean_bytes(), 1'000.0);
+}
+
+TEST(SizeDistribution, FixedMiceClassification) {
+  EXPECT_DOUBLE_EQ(SizeDistribution::fixed(1'000).mice_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(SizeDistribution::fixed(kMiceFlowBytes).mice_fraction(),
+                   0.0);
+}
+
+TEST(SizeDistribution, RejectsMalformedPoints) {
+  EXPECT_THROW(SizeDistribution({}, "x"), std::invalid_argument);
+  EXPECT_THROW(SizeDistribution({{100, 0.5}}, "x"), std::invalid_argument)
+      << "last cdf must be 1";
+  EXPECT_THROW(SizeDistribution({{100, 0.5}, {50, 1.0}}, "x"),
+               std::invalid_argument)
+      << "sizes must increase";
+  EXPECT_THROW(SizeDistribution({{100, 0.7}, {200, 0.6}, {300, 1.0}}, "x"),
+               std::invalid_argument)
+      << "cdf must increase";
+}
+
+TEST(SizeDistribution, SamplesNeverBelowOneByte) {
+  const auto dist = SizeDistribution::google();
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(dist.sample(rng), 1);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,39 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace negotiator {
+namespace {
+
+TEST(Rate, GbpsRoundTrip) {
+  const Rate r = Rate::from_gbps(100.0);
+  EXPECT_DOUBLE_EQ(r.gbps(), 100.0);
+  EXPECT_DOUBLE_EQ(r.bytes_per_ns, 12.5);
+}
+
+TEST(Rate, BytesInDuration) {
+  const Rate r = Rate::from_gbps(100.0);
+  EXPECT_EQ(r.bytes_in(90), 1125);
+  EXPECT_EQ(r.bytes_in(50), 625);
+  EXPECT_EQ(r.bytes_in(0), 0);
+}
+
+TEST(Rate, BytesInFloorsFractional) {
+  const Rate r = Rate::from_gbps(50.0);  // 6.25 B/ns
+  EXPECT_EQ(r.bytes_in(90), 562);        // 562.5 floored
+}
+
+TEST(Rate, TimeForCeils) {
+  const Rate r = Rate::from_gbps(100.0);
+  EXPECT_EQ(r.time_for(1125), 90);
+  EXPECT_EQ(r.time_for(1), 1);  // 0.08ns ceiled
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KB, 1000);
+  EXPECT_EQ(10_KB, 10'000);
+  EXPECT_EQ(3_MB, 3'000'000);
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,112 @@
+// Cross-variant invariant sweep: every scheduler variant, on its supported
+// topologies, must conserve bytes (offered = delivered + backlog at all
+// times, delivered fully once drained) and record sane FCTs. This is the
+// catch-all harness that keeps new variants honest.
+#include <gtest/gtest.h>
+
+#include "engine/runner.h"
+#include "workload/generator.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+struct VariantCase {
+  SchedulerKind scheduler;
+  TopologyKind topology;
+  bool piggyback;
+  std::uint64_t seed;
+};
+
+class VariantInvariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(VariantInvariantTest, ConservesBytesAndDrains) {
+  const VariantCase& c = GetParam();
+  NetworkConfig cfg;
+  cfg.num_tors = 16;
+  cfg.ports_per_tor = 4;
+  cfg.scheduler = c.scheduler;
+  cfg.topology = c.topology;
+  cfg.piggyback = c.piggyback;
+  cfg.seed = c.seed;
+  if (c.scheduler == SchedulerKind::kNegotiatorIterative) {
+    cfg.variant.iterations = 2;
+  }
+  ASSERT_NO_THROW(cfg.validate());
+
+  auto fab = make_fabric(cfg);
+  const auto sizes = SizeDistribution::hadoop();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 0.8,
+                        Rng(c.seed));
+  const Nanos dur = 400'000;
+  const auto flows = gen.generate(0, dur);
+  Bytes offered = 0;
+  for (const Flow& f : flows) offered += f.size;
+  fab->add_flows(flows);
+  fab->goodput().set_measure_interval(0, kNeverNs - 1);
+
+  // Conservation holds at every checkpoint once all flows have arrived
+  // (arrivals are strictly before `dur`). Relaying fabrics may have bytes
+  // in flight towards an intermediate (transmitted, not yet enqueued):
+  // at most one packet per port plus one propagation delay's worth.
+  const Bytes in_flight_bound =
+      static_cast<Bytes>(cfg.num_tors) * cfg.ports_per_tor *
+      (cfg.scheduled_payload_bytes() +
+       cfg.port_rate().bytes_in(cfg.propagation_delay_ns));
+  for (Nanos t = dur; t <= 3 * dur; t += dur) {
+    fab->run_until(t);
+    const Bytes accounted =
+        fab->goodput().delivered_bytes() + fab->total_backlog();
+    EXPECT_LE(accounted, offered)
+        << to_string(c.scheduler) << " invented bytes at t=" << t;
+    EXPECT_GE(accounted, offered - in_flight_bound)
+        << to_string(c.scheduler) << " leaked bytes at t=" << t;
+  }
+  // Generous drain time, then everything must have completed.
+  fab->run_until(200 * dur);
+  EXPECT_EQ(fab->fct().completed(), flows.size())
+      << to_string(c.scheduler) << " stranded flows";
+  EXPECT_EQ(fab->total_backlog(), 0);
+  for (const FctSample& s : fab->fct().samples()) {
+    EXPECT_GE(s.fct, cfg.propagation_delay_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantInvariantTest,
+    ::testing::Values(
+        VariantCase{SchedulerKind::kNegotiator, TopologyKind::kParallel,
+                    true, 1},
+        VariantCase{SchedulerKind::kNegotiator, TopologyKind::kThinClos,
+                    true, 2},
+        VariantCase{SchedulerKind::kNegotiator, TopologyKind::kParallel,
+                    false, 3},
+        VariantCase{SchedulerKind::kOblivious, TopologyKind::kThinClos, true,
+                    4},
+        VariantCase{SchedulerKind::kOblivious, TopologyKind::kParallel, true,
+                    5},
+        VariantCase{SchedulerKind::kNegotiatorIterative,
+                    TopologyKind::kParallel, true, 6},
+        VariantCase{SchedulerKind::kNegotiatorInformativeSize,
+                    TopologyKind::kParallel, true, 7},
+        VariantCase{SchedulerKind::kNegotiatorInformativeHol,
+                    TopologyKind::kParallel, true, 8},
+        VariantCase{SchedulerKind::kNegotiatorInformativeSize,
+                    TopologyKind::kThinClos, true, 9},
+        VariantCase{SchedulerKind::kNegotiatorStateful,
+                    TopologyKind::kParallel, true, 10},
+        VariantCase{SchedulerKind::kNegotiatorStateful,
+                    TopologyKind::kThinClos, true, 11},
+        VariantCase{SchedulerKind::kNegotiatorSelectiveRelay,
+                    TopologyKind::kThinClos, true, 12},
+        VariantCase{SchedulerKind::kProjector, TopologyKind::kParallel, true,
+                    13},
+        VariantCase{SchedulerKind::kProjector, TopologyKind::kThinClos, true,
+                    14},
+        VariantCase{SchedulerKind::kCentralized, TopologyKind::kParallel,
+                    true, 15},
+        VariantCase{SchedulerKind::kCentralized, TopologyKind::kThinClos,
+                    true, 16}));
+
+}  // namespace
+}  // namespace negotiator

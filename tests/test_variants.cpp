@@ -1,0 +1,226 @@
+// Integration tests of the appendix design-space variants (A.2).
+#include <gtest/gtest.h>
+
+#include "engine/runner.h"
+#include "workload/generator.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+NetworkConfig base(SchedulerKind kind, TopologyKind topo) {
+  NetworkConfig c;
+  c.num_tors = 16;
+  c.ports_per_tor = 4;
+  c.scheduler = kind;
+  c.topology = topo;
+  return c;
+}
+
+Flow one_flow(TorId src, TorId dst, Bytes size, Nanos arrival, FlowId id = 1) {
+  Flow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  f.arrival = arrival;
+  return f;
+}
+
+RunResult run_workload(const NetworkConfig& cfg, double load, Nanos dur,
+                       std::uint64_t seed = 21) {
+  Runner runner(cfg);
+  const auto sizes = SizeDistribution::hadoop();
+  WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), load, Rng(seed));
+  runner.add_flows(gen.generate(0, dur));
+  return runner.run(dur, dur / 4);
+}
+
+// ----------------------------------------------------------- A.2.1 iterative
+
+TEST(IterativeVariant, SingleIterationBehavesLikeBase) {
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorIterative,
+                           TopologyKind::kParallel);
+  cfg.variant.iterations = 1;
+  auto fab = make_fabric(cfg);
+  fab->add_flow(one_flow(0, 5, 100'000, 0));
+  fab->run_until(60 * cfg.epoch_length_ns());
+  EXPECT_EQ(fab->fct().completed(), 1u);
+  EXPECT_EQ(fab->total_backlog(), 0);
+}
+
+TEST(IterativeVariant, MoreIterationsLargerSchedulingDelay) {
+  // One extra iteration adds three epochs of scheduling delay (A.2.1).
+  // Disable the bypass so the flow must wait for a scheduled connection.
+  std::vector<double> first_fct;
+  for (int iters : {1, 3}) {
+    NetworkConfig cfg = base(SchedulerKind::kNegotiatorIterative,
+                             TopologyKind::kParallel);
+    cfg.piggyback = false;
+    cfg.variant.iterations = iters;
+    auto fab = make_fabric(cfg);
+    fab->add_flow(one_flow(0, 5, 20'000, 0));
+    fab->run_until(80 * cfg.epoch_length_ns());
+    ASSERT_EQ(fab->fct().completed(), 1u) << iters << " iterations";
+    first_fct.push_back(static_cast<double>(fab->fct().samples()[0].fct));
+  }
+  EXPECT_GE(first_fct[1] - first_fct[0],
+            4.0 * 3'660) << "3-iteration delay must exceed +6 epochs minus "
+                            "pipeline alignment slack";
+}
+
+TEST(IterativeVariant, WorseFctThanBaseUnderLoad) {
+  NetworkConfig it = base(SchedulerKind::kNegotiatorIterative,
+                          TopologyKind::kParallel);
+  it.variant.iterations = 3;
+  it.speedup = 1.0;
+  const RunResult r_it = run_workload(it, 0.8, 2'000'000);
+  NetworkConfig plain = base(SchedulerKind::kNegotiator,
+                             TopologyKind::kParallel);
+  const RunResult r_base = run_workload(plain, 0.8, 2'000'000);
+  EXPECT_GT(r_it.mice.p99_ns, r_base.mice.p99_ns)
+      << "iteration must not beat 2x speedup (A.2.1 conclusion)";
+}
+
+// ------------------------------------------------------------ A.2.3 requests
+
+TEST(InformativeVariants, BothRunAndDrain) {
+  for (auto kind : {SchedulerKind::kNegotiatorInformativeSize,
+                    SchedulerKind::kNegotiatorInformativeHol}) {
+    NetworkConfig cfg = base(kind, TopologyKind::kParallel);
+    auto fab = make_fabric(cfg);
+    for (int i = 0; i < 10; ++i) {
+      fab->add_flow(one_flow(static_cast<TorId>(i), 15, 50'000, 0, i));
+    }
+    fab->run_until(200 * cfg.epoch_length_ns());
+    EXPECT_EQ(fab->fct().completed(), 10u) << to_string(kind);
+    EXPECT_EQ(fab->total_backlog(), 0);
+  }
+}
+
+TEST(InformativeVariants, ComparableGoodputToBase) {
+  // Table 4: informative requests change goodput only marginally.
+  const RunResult r_base = run_workload(
+      base(SchedulerKind::kNegotiator, TopologyKind::kParallel), 0.6,
+      2'000'000);
+  const RunResult r_size = run_workload(
+      base(SchedulerKind::kNegotiatorInformativeSize, TopologyKind::kParallel),
+      0.6, 2'000'000);
+  const RunResult r_hol = run_workload(
+      base(SchedulerKind::kNegotiatorInformativeHol, TopologyKind::kParallel),
+      0.6, 2'000'000);
+  EXPECT_NEAR(r_size.goodput, r_base.goodput, 0.08);
+  EXPECT_NEAR(r_hol.goodput, r_base.goodput, 0.08);
+}
+
+// ------------------------------------------------------------ A.2.4 stateful
+
+TEST(StatefulVariant, DrainsAndMatchesBaseClosely) {
+  // Table 5: "negligible difference between stateful and stateless".
+  const RunResult r_base = run_workload(
+      base(SchedulerKind::kNegotiator, TopologyKind::kParallel), 0.6,
+      2'000'000);
+  const RunResult r_st = run_workload(
+      base(SchedulerKind::kNegotiatorStateful, TopologyKind::kParallel), 0.6,
+      2'000'000);
+  EXPECT_NEAR(r_st.goodput, r_base.goodput, 0.06);
+  EXPECT_GT(r_st.completed, 0u);
+}
+
+TEST(StatefulVariant, SingleFlowCompletesExactly) {
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorStateful,
+                           TopologyKind::kParallel);
+  auto fab = make_fabric(cfg);
+  fab->add_flow(one_flow(1, 2, 150'000, 0));
+  fab->run_until(100 * cfg.epoch_length_ns());
+  EXPECT_EQ(fab->fct().completed(), 1u);
+  EXPECT_EQ(fab->total_backlog(), 0);
+}
+
+// ------------------------------------------------- A.2.2 selective relay
+
+TEST(SelectiveRelay, RequiresThinClos) {
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorSelectiveRelay,
+                           TopologyKind::kParallel);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SelectiveRelay, ElephantCompletesWithRelayEnabled) {
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorSelectiveRelay,
+                           TopologyKind::kThinClos);
+  auto fab = make_fabric(cfg);
+  fab->add_flow(one_flow(0, 5, 500'000, 0));
+  fab->run_until(400 * cfg.epoch_length_ns());
+  EXPECT_EQ(fab->fct().completed(), 1u);
+  EXPECT_EQ(fab->total_backlog(), 0) << "no bytes stranded in relay queues";
+}
+
+TEST(SelectiveRelay, UsesRelayPathsForHeavyElephants) {
+  // A single heavy pair on thin-clos is pinned to one direct port; relay
+  // must open extra paths, visible as relay receptions.
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorSelectiveRelay,
+                           TopologyKind::kThinClos);
+  auto fab = make_fabric(cfg);
+  fab->goodput().set_measure_interval(0, 1'000'000'000);
+  fab->add_flow(one_flow(0, 5, 2'000'000, 0));
+  fab->run_until(500 * cfg.epoch_length_ns());
+  EXPECT_GT(fab->goodput().relay_bytes(), 0) << "relay path never used";
+  EXPECT_EQ(fab->fct().completed(), 1u);
+}
+
+TEST(SelectiveRelay, MiceNeverRelayed) {
+  // Relay is enabled only for lowest-priority data above the threshold;
+  // a mice-only workload must see zero relay receptions.
+  NetworkConfig cfg = base(SchedulerKind::kNegotiatorSelectiveRelay,
+                           TopologyKind::kThinClos);
+  auto fab = make_fabric(cfg);
+  fab->goodput().set_measure_interval(0, 1'000'000'000);
+  for (int i = 0; i < 30; ++i) {
+    fab->add_flow(one_flow(static_cast<TorId>(i % 16),
+                           static_cast<TorId>((i + 3) % 16), 800, i * 100,
+                           i));
+  }
+  fab->run_until(100 * cfg.epoch_length_ns());
+  EXPECT_EQ(fab->goodput().relay_bytes(), 0);
+  EXPECT_EQ(fab->fct().completed(), 30u);
+}
+
+TEST(SelectiveRelay, GoodputComparableToBase) {
+  // Table 3: relay brings at most marginal goodput gain.
+  const RunResult r_base = run_workload(
+      base(SchedulerKind::kNegotiator, TopologyKind::kThinClos), 0.5,
+      2'000'000);
+  const RunResult r_relay = run_workload(
+      base(SchedulerKind::kNegotiatorSelectiveRelay, TopologyKind::kThinClos),
+      0.5, 2'000'000);
+  EXPECT_NEAR(r_relay.goodput, r_base.goodput, 0.08);
+}
+
+// ----------------------------------------------------------- A.2.5 projector
+
+TEST(Projector, RunsOnBothTopologies) {
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    NetworkConfig cfg = base(SchedulerKind::kProjector, topo);
+    auto fab = make_fabric(cfg);
+    fab->add_flow(one_flow(0, 5, 100'000, 0));
+    fab->run_until(100 * cfg.epoch_length_ns());
+    EXPECT_EQ(fab->fct().completed(), 1u) << to_string(topo);
+    EXPECT_EQ(fab->total_backlog(), 0);
+  }
+}
+
+TEST(Projector, WorseTailFctThanNegotiatorUnderLoad) {
+  // Table 6: ProjecToR's per-port delay-priority scheduling trails
+  // NegotiaToR Matching.
+  const RunResult r_proj = run_workload(
+      base(SchedulerKind::kProjector, TopologyKind::kParallel), 0.9,
+      2'500'000);
+  const RunResult r_base = run_workload(
+      base(SchedulerKind::kNegotiator, TopologyKind::kParallel), 0.9,
+      2'500'000);
+  EXPECT_GT(r_proj.mice.p99_ns, r_base.mice.p99_ns * 0.9)
+      << "projector should not beat NegotiaToR's tail";
+}
+
+}  // namespace
+}  // namespace negotiator

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/all_to_all.h"
+#include "workload/generator.h"
+#include "workload/incast.h"
+#include "workload/poisson.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+TEST(Poisson, ArrivalsAreMonotone) {
+  PoissonProcess p(0.01, Rng(1));
+  Nanos prev = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    const Nanos t = p.next_arrival();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Poisson, RateIsRespected) {
+  const double rate = 0.002;  // 2 arrivals per microsecond
+  PoissonProcess p(rate, Rng(2));
+  int count = 0;
+  while (p.next_arrival() < 10'000'000) ++count;
+  EXPECT_NEAR(count, 20'000, 600);
+}
+
+TEST(WorkloadGenerator, LoadModelSetsArrivalRate) {
+  // L = F / (R * N * tau)  =>  lambda = L * R * N / F (§4.1).
+  const auto sizes = SizeDistribution::fixed(100'000);
+  WorkloadGenerator gen(sizes, 128, Rate::from_gbps(400), 0.5, Rng(3));
+  const double expected = 0.5 * 50.0 * 128 / 100'000;  // bytes/ns / bytes
+  EXPECT_NEAR(gen.flow_rate_per_ns(), expected, expected * 1e-9);
+}
+
+TEST(WorkloadGenerator, GeneratedLoadMatches) {
+  const auto sizes = SizeDistribution::hadoop();
+  const double load = 0.8;
+  WorkloadGenerator gen(sizes, 128, Rate::from_gbps(400), load, Rng(4));
+  const Nanos dur = 5'000'000;
+  const auto flows = gen.generate(0, dur);
+  double bytes = 0;
+  for (const Flow& f : flows) bytes += static_cast<double>(f.size);
+  const double offered = bytes / (50.0 * 128 * dur);
+  EXPECT_NEAR(offered, load, load * 0.15);  // stochastic tolerance
+}
+
+TEST(WorkloadGenerator, EndpointsValidAndDistinct) {
+  const auto sizes = SizeDistribution::google();
+  WorkloadGenerator gen(sizes, 16, Rate::from_gbps(400), 0.5, Rng(5));
+  for (const Flow& f : gen.generate(0, 1'000'000)) {
+    EXPECT_GE(f.src, 0);
+    EXPECT_LT(f.src, 16);
+    EXPECT_GE(f.dst, 0);
+    EXPECT_LT(f.dst, 16);
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_GT(f.size, 0);
+    EXPECT_GE(f.arrival, 0);
+    EXPECT_LT(f.arrival, 1'000'000);
+  }
+}
+
+TEST(WorkloadGenerator, StartOffsetAndIdsApplied) {
+  const auto sizes = SizeDistribution::fixed(1'000);
+  WorkloadGenerator gen(sizes, 8, Rate::from_gbps(400), 1.0, Rng(6));
+  const auto flows = gen.generate(500, 100'000, 42, 7);
+  ASSERT_FALSE(flows.empty());
+  EXPECT_EQ(flows[0].id, 42);
+  EXPECT_EQ(flows[0].group, 7);
+  for (const Flow& f : flows) EXPECT_GE(f.arrival, 500);
+}
+
+TEST(Incast, DegreeSourcesAllDistinct) {
+  Rng rng(7);
+  const auto flows = make_incast(128, 50, 1'000, 3, 1'000, rng);
+  EXPECT_EQ(flows.size(), 50u);
+  std::set<TorId> sources;
+  for (const Flow& f : flows) {
+    EXPECT_EQ(f.dst, 3);
+    EXPECT_NE(f.src, 3);
+    EXPECT_EQ(f.size, 1'000);
+    EXPECT_EQ(f.arrival, 1'000);
+    sources.insert(f.src);
+  }
+  EXPECT_EQ(sources.size(), 50u);
+}
+
+TEST(Incast, MaxDegreeUsesEveryOtherTor) {
+  Rng rng(8);
+  const auto flows = make_incast(16, 15, 500, 0, 0, rng);
+  std::set<TorId> sources;
+  for (const Flow& f : flows) sources.insert(f.src);
+  EXPECT_EQ(sources.size(), 15u);
+}
+
+TEST(IncastMix, BandwidthFractionRespected) {
+  // Fig. 13a: incasts take 2% of aggregated downlink bandwidth.
+  Rng rng(9);
+  const Nanos dur = 20'000'000;
+  const auto flows = make_incast_mix(128, 20, 1'000, 0.02,
+                                     Rate::from_gbps(400), 0, dur, rng);
+  double bytes = 0;
+  for (const Flow& f : flows) bytes += static_cast<double>(f.size);
+  const double fraction = bytes / (50.0 * 128 * dur);
+  EXPECT_NEAR(fraction, 0.02, 0.004);
+  EXPECT_EQ(flows.size() % 20, 0u) << "whole incast events";
+}
+
+TEST(AllToAll, FullMesh) {
+  const auto flows = make_all_to_all(16, 30'000, 5'000);
+  EXPECT_EQ(flows.size(), 16u * 15u);
+  std::set<std::pair<TorId, TorId>> pairs;
+  for (const Flow& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_EQ(f.size, 30'000);
+    EXPECT_EQ(f.arrival, 5'000);
+    pairs.insert({f.src, f.dst});
+  }
+  EXPECT_EQ(pairs.size(), 16u * 15u);
+}
+
+}  // namespace
+}  // namespace negotiator
