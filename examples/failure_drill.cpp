@@ -2,7 +2,7 @@
 // the optical fibres mid-run, watch detection/exclusion keep traffic
 // flowing, then repair and watch bandwidth recover.
 //
-//   ./failure_drill [failure_percent]
+//   ./failure_drill [failure_percent] [horizon_ms]
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,10 +15,23 @@ using namespace negotiator;
 
 int main(int argc, char** argv) {
   const double fail_pct = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const double horizon_ms = argc > 2 ? std::atof(argv[2]) : 4.5;
+  // Need at least one full 1/45-horizon measurement window (>= 1 ns each),
+  // or the window arithmetic below degenerates; the upper bound keeps the
+  // nanosecond horizon inside int64.
+  if (!(horizon_ms * kMilli >= 45) || horizon_ms > 1e9) {
+    std::fprintf(stderr, "failure_drill: horizon_ms must be in "
+                         "[0.000045, 1e9]\n");
+    return 2;
+  }
   NetworkConfig cfg;
   cfg.topology = TopologyKind::kParallel;
 
-  const Nanos window = 100 * kMicro;
+  // Phases and the measurement window scale with the horizon; the defaults
+  // (4.5 ms -> 100 us windows, fail at 1.5 ms, repair at 3.0 ms) match the
+  // paper's drill.
+  const Nanos end = static_cast<Nanos>(horizon_ms * kMilli);
+  const Nanos window = end / 45;
   Runner runner(cfg, window);
 
   // Saturating all-pairs backlog makes bandwidth limited by links alone.
@@ -36,9 +49,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const Nanos fail_at = 1'500 * kMicro;
-  const Nanos repair_at = 3'000 * kMicro;
-  const Nanos end = 4'500 * kMicro;
+  const Nanos fail_at = end / 3;
+  const Nanos repair_at = 2 * end / 3;
   Rng rng(11);
   const auto failed = inject_random_failures(
       runner.fabric(), fail_pct / 100.0, fail_at, repair_at, rng);
@@ -50,7 +62,8 @@ int main(int argc, char** argv) {
   runner.fabric().goodput().set_measure_interval(0, end);
   runner.fabric().run_until(end);
 
-  std::printf("network-wide delivered bandwidth per 100 us window:\n");
+  std::printf("network-wide delivered bandwidth per %.0f us window:\n",
+              window / 1e3);
   const auto& goodput = runner.fabric().goodput();
   double pre = 0, during = 0, post = 0;
   int pre_n = 0, during_n = 0, post_n = 0;

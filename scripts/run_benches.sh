@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run every figure/table bench binary and collect its stdout under
+# bench/out/<name>.txt, for the perf-trajectory tooling and for eyeballing
+# against the paper's evaluation (§4).
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir]
+#
+# Environment:
+#   NEG_DURATION_MS  simulated milliseconds per run (default: each bench's
+#                    own short default; the paper uses 30).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+bench_dir="${build_dir}/bench"
+out_dir="${repo_root}/bench/out"
+
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found — build first:" >&2
+  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+shopt -s nullglob
+failures=0
+ran=0
+for bin in "${bench_dir}"/bench_*; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  if [[ "${name}" == "bench_micro_gbench" ]]; then
+    # Google Benchmark emits its own timing table; keep it, but don't let a
+    # missing-counter quirk fail the whole sweep.
+    echo "== ${name} (microbenchmarks)"
+    "${bin}" --benchmark_min_time=0.01 >"${out_dir}/${name}.txt" 2>&1 || {
+      echo "   FAILED (see ${out_dir}/${name}.txt)"; failures=$((failures + 1)); }
+    ran=$((ran + 1))
+    continue
+  fi
+  echo "== ${name}"
+  if "${bin}" >"${out_dir}/${name}.txt" 2>&1; then
+    ran=$((ran + 1))
+  else
+    echo "   FAILED (see ${out_dir}/${name}.txt)"
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "ran ${ran} benches -> ${out_dir} (${failures} failed)"
+exit "$((failures > 0 ? 1 : 0))"
