@@ -1,0 +1,188 @@
+// Engine throughput harness: how fast does the simulator itself run?
+//
+// Runs the Fig. 9 evaluation workload (Hadoop size distribution, Poisson
+// arrivals at 0.5 load) at N ∈ {16, 64, 128} ToRs for the three fig9
+// systems and reports, per run:
+//   - events/sec          discrete events executed per wall-clock second
+//   - sim_ns_per_wall_s   simulated nanoseconds advanced per wall second
+// plus an all-runs aggregate. This is the repo's perf trajectory: every PR
+// can compare BENCH_perf.json against the previous one to catch hot-path
+// regressions.
+//
+// Environment:
+//   NEG_DURATION_MS  simulated milliseconds per run (default 2.0)
+//   NEG_PERF_TORS    comma-separated N list (default "16,64,128")
+//   NEG_PERF_JSON    path to write the machine-readable results
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace negbench;
+
+namespace {
+
+struct PerfRun {
+  std::string name;
+  int num_tors;
+  const char* topology;
+  const char* scheduler;
+  double load;
+  Nanos sim_ns;
+  double wall_seconds;
+  std::uint64_t events;
+  std::size_t flows;
+  std::size_t completed;
+
+  double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds
+                            : 0.0;
+  }
+  double sim_ns_per_wall_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(sim_ns) / wall_seconds
+                            : 0.0;
+  }
+};
+
+std::vector<int> tor_counts() {
+  std::vector<int> out;
+  const char* env = std::getenv("NEG_PERF_TORS");
+  const std::string spec = env != nullptr ? env : "16,64,128";
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n >= 2) out.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+PerfRun measure_engine(const char* name, TopologyKind topo,
+                       SchedulerKind sched, int n, double load,
+                       Nanos duration) {
+  NetworkConfig cfg = paper_config(topo, sched);
+  cfg.num_tors = n;
+  Runner runner(cfg);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
+                        cfg.host_rate(), load, Rng(9));
+  const auto flows = gen.generate(0, duration);
+  runner.add_flows(flows);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = runner.run(duration, duration / 2);
+  const auto t1 = std::chrono::steady_clock::now();
+  PerfRun out;
+  out.name = name;
+  out.num_tors = n;
+  out.topology = to_string(topo);
+  out.scheduler = to_string(sched);
+  out.load = load;
+  out.sim_ns = duration;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.events = runner.fabric().events_executed();
+  out.flows = flows.size();
+  out.completed = r.completed;
+  return out;
+}
+
+void write_json(const char* path, const std::vector<PerfRun>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_perf_engine: cannot write %s\n", path);
+    return;
+  }
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+  for (const PerfRun& r : runs) {
+    total_events += r.events;
+    total_wall += r.wall_seconds;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_engine\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const PerfRun& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"num_tors\": %d, \"topology\": \"%s\", "
+        "\"scheduler\": \"%s\", \"load\": %.2f, \"sim_ns\": %lld, "
+        "\"wall_seconds\": %.6f, \"events\": %llu, "
+        "\"events_per_sec\": %.1f, \"sim_ns_per_wall_sec\": %.1f, "
+        "\"flows\": %zu, \"completed\": %zu}%s\n",
+        r.name.c_str(), r.num_tors, r.topology, r.scheduler, r.load,
+        static_cast<long long>(r.sim_ns), r.wall_seconds,
+        static_cast<unsigned long long>(r.events), r.events_per_sec(),
+        r.sim_ns_per_wall_sec(), r.flows, r.completed,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"aggregate\": {\"events\": %llu, "
+               "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f}\n}\n",
+               static_cast<unsigned long long>(total_events), total_wall,
+               total_wall > 0
+                   ? static_cast<double>(total_events) / total_wall
+                   : 0.0);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Engine perf: events/sec and simulated-ns per wall-second");
+  const Nanos duration = bench_duration(2.0);
+  const double load = 0.5;
+
+  const struct {
+    const char* name;
+    TopologyKind topo;
+    SchedulerKind sched;
+  } systems[] = {
+      {"negotiator/parallel", TopologyKind::kParallel,
+       SchedulerKind::kNegotiator},
+      {"negotiator/thin-clos", TopologyKind::kThinClos,
+       SchedulerKind::kNegotiator},
+      {"oblivious/thin-clos", TopologyKind::kThinClos,
+       SchedulerKind::kOblivious},
+  };
+
+  std::vector<PerfRun> runs;
+  ConsoleTable table({"system", "N", "events", "wall s", "events/s",
+                      "sim-ns/wall-s"});
+  for (const int n : tor_counts()) {
+    for (const auto& sys : systems) {
+      const PerfRun r =
+          measure_engine(sys.name, sys.topo, sys.sched, n, load, duration);
+      table.add_row({r.name, std::to_string(r.num_tors),
+                     std::to_string(r.events), fmt(r.wall_seconds, 3),
+                     fmt(r.events_per_sec(), 0),
+                     fmt(r.sim_ns_per_wall_sec(), 0)});
+      runs.push_back(r);
+    }
+  }
+  table.print();
+
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+  for (const PerfRun& r : runs) {
+    total_events += r.events;
+    total_wall += r.wall_seconds;
+  }
+  std::printf("\naggregate: %llu events in %.3f s -> %.0f events/s\n",
+              static_cast<unsigned long long>(total_events), total_wall,
+              total_wall > 0
+                  ? static_cast<double>(total_events) / total_wall
+                  : 0.0);
+
+  if (const char* path = std::getenv("NEG_PERF_JSON")) {
+    write_json(path, runs);
+  }
+  return 0;
+}

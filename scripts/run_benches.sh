@@ -9,6 +9,9 @@
 # Environment:
 #   NEG_DURATION_MS  simulated milliseconds per run (default: each bench's
 #                    own short default; the paper uses 30).
+#   NEG_PERF_JSON    where bench_perf_engine writes its machine-readable
+#                    results (default: <repo>/BENCH_perf.json), the repo's
+#                    perf trajectory.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,6 +26,10 @@ if [[ ! -d "${bench_dir}" ]]; then
 fi
 
 mkdir -p "${out_dir}"
+
+# bench_perf_engine emits the machine-readable perf trajectory; keep it at
+# the repo root so every PR's numbers are easy to diff.
+export NEG_PERF_JSON="${NEG_PERF_JSON:-${repo_root}/BENCH_perf.json}"
 
 shopt -s nullglob
 failures=0
@@ -50,4 +57,7 @@ done
 
 echo
 echo "ran ${ran} benches -> ${out_dir} (${failures} failed)"
+if [[ -f "${NEG_PERF_JSON}" ]]; then
+  echo "perf trajectory -> ${NEG_PERF_JSON}"
+fi
 exit "$((failures > 0 ? 1 : 0))"

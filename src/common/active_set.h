@@ -1,0 +1,74 @@
+// Dense set of ToR ids tuned for the fabric hot path: O(1) membership via
+// a bitmap, plus a compact sorted vector so iteration touches only the
+// live ids in ascending order (the stable view schedulers and the VLB
+// spreader rely on). Mutations are O(size) worst case, but callers only
+// mutate on empty/non-empty queue flips, not per packet.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace negotiator {
+
+class ActiveSet {
+ public:
+  using const_iterator = std::vector<TorId>::const_iterator;
+
+  ActiveSet() = default;
+  explicit ActiveSet(int capacity) { reset(capacity); }
+
+  /// Clears the set and sizes the bitmap for ids in [0, capacity).
+  void reset(int capacity) {
+    NEG_ASSERT(capacity >= 0, "negative capacity");
+    member_.assign(static_cast<std::size_t>(capacity), false);
+    sorted_.clear();
+  }
+
+  void insert(TorId id) {
+    grow_to(id);
+    if (member_[static_cast<std::size_t>(id)]) return;
+    member_[static_cast<std::size_t>(id)] = true;
+    sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), id), id);
+  }
+
+  void erase(TorId id) {
+    if (id < 0 || static_cast<std::size_t>(id) >= member_.size()) return;
+    if (!member_[static_cast<std::size_t>(id)]) return;
+    member_[static_cast<std::size_t>(id)] = false;
+    sorted_.erase(std::lower_bound(sorted_.begin(), sorted_.end(), id));
+  }
+
+  bool contains(TorId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < member_.size() &&
+           member_[static_cast<std::size_t>(id)];
+  }
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Ascending iteration over the live ids (the stable sorted view).
+  const_iterator begin() const { return sorted_.begin(); }
+  const_iterator end() const { return sorted_.end(); }
+
+  /// First id strictly greater than `id`; end() when none.
+  const_iterator upper_bound(TorId id) const {
+    return std::upper_bound(sorted_.begin(), sorted_.end(), id);
+  }
+
+ private:
+  void grow_to(TorId id) {
+    NEG_ASSERT(id >= 0, "negative id");
+    if (static_cast<std::size_t>(id) >= member_.size()) {
+      member_.resize(static_cast<std::size_t>(id) + 1, false);
+    }
+  }
+
+  std::vector<bool> member_;
+  std::vector<TorId> sorted_;
+};
+
+}  // namespace negotiator

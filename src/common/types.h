@@ -25,6 +25,12 @@ using PortId = std::int32_t;
 /// Unique flow identifier, assigned by the workload generator.
 using FlowId = std::int64_t;
 
+/// Direction of a ToR uplink fibre (§3.6.1): egress (ToR tx -> AWGR) and
+/// ingress (AWGR -> ToR rx) fail and recover independently. Lives here so
+/// the event layer can carry link-toggle events without depending on the
+/// topology module.
+enum class LinkDirection { kEgress, kIngress };
+
 inline constexpr TorId kInvalidTor = -1;
 inline constexpr PortId kInvalidPort = -1;
 inline constexpr FlowId kInvalidFlow = -1;

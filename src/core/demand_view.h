@@ -3,9 +3,9 @@
 // the paper assumes (each ToR sees only its own queues).
 #pragma once
 
-#include <set>
 #include <vector>
 
+#include "common/active_set.h"
 #include "common/types.h"
 
 namespace negotiator {
@@ -37,7 +37,7 @@ class DemandView {
   virtual std::vector<TorId> relay_active_destinations(TorId tor) const = 0;
 
   /// Destinations with pending direct data at `src`, ascending.
-  virtual const std::set<TorId>& active_destinations(TorId src) const = 0;
+  virtual const ActiveSet& active_destinations(TorId src) const = 0;
 
   /// §3.6.5 receiver-side pause: `tor`'s host-facing buffer is too full to
   /// accept new fabric traffic. Default: never paused (host plane off).

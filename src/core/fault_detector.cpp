@@ -28,16 +28,17 @@ const FaultPlane::Dir& FaultPlane::at(const std::vector<Dir>& v, TorId tor,
 
 void FaultPlane::observe(std::vector<Dir>& v, TorId tor, PortId port,
                          bool ok) {
-  Dir& d = at(v, tor, port);
-  if (ok) {
-    d.hit_streak++;
-    d.miss_streak = 0;
-    if (d.excluded && d.hit_streak >= threshold_) d.pending_include = true;
-  } else {
-    d.miss_streak++;
-    d.hit_streak = 0;
-    if (!d.excluded && d.miss_streak >= threshold_) d.pending_exclude = true;
-  }
+  mutate_dir(at(v, tor, port), [this, ok](Dir& d) {
+    if (ok) {
+      d.hit_streak++;
+      d.miss_streak = 0;
+      if (d.excluded && d.hit_streak >= threshold_) d.pending_include = true;
+    } else {
+      d.miss_streak++;
+      d.hit_streak = 0;
+      if (!d.excluded && d.miss_streak >= threshold_) d.pending_exclude = true;
+    }
+  });
 }
 
 void FaultPlane::observe_ingress(TorId dst, PortId rx, bool received) {
@@ -49,19 +50,22 @@ void FaultPlane::observe_egress(TorId src, PortId tx, bool delivered) {
 }
 
 void FaultPlane::end_epoch() {
+  if (quiescent()) return;  // nothing pending anywhere
   auto sweep = [this](std::vector<Dir>& v) {
-    for (Dir& d : v) {
-      if (d.pending_exclude) {
-        d.excluded = true;
-        d.pending_exclude = false;
-        ++excluded_count_;
-      }
-      if (d.pending_include) {
-        NEG_ASSERT(d.excluded, "include without exclude");
-        d.excluded = false;
-        d.pending_include = false;
-        --excluded_count_;
-      }
+    for (Dir& dir : v) {
+      mutate_dir(dir, [this](Dir& d) {
+        if (d.pending_exclude) {
+          d.excluded = true;
+          d.pending_exclude = false;
+          ++excluded_count_;
+        }
+        if (d.pending_include) {
+          NEG_ASSERT(d.excluded, "include without exclude");
+          d.excluded = false;
+          d.pending_include = false;
+          --excluded_count_;
+        }
+      });
     }
   };
   sweep(ingress_);

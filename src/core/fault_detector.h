@@ -37,6 +37,14 @@ class FaultPlane {
 
   int excluded_count() const { return excluded_count_; }
 
+  /// True when every direction is "clean": not excluded, no pending
+  /// transition, no running miss streak. While quiescent, an all-healthy
+  /// observation (`observe_*(..., true)`) only bumps a hit streak that
+  /// nothing will ever read (hit streaks matter only on excluded ports,
+  /// and exclusion starts by zeroing them), so hot loops may skip those
+  /// calls entirely without changing detection behaviour.
+  bool quiescent() const { return dirty_count_ == 0; }
+
  private:
   struct Dir {
     int miss_streak{0};
@@ -49,12 +57,25 @@ class FaultPlane {
   const Dir& at(const std::vector<Dir>& v, TorId tor, PortId port) const;
   void observe(std::vector<Dir>& v, TorId tor, PortId port, bool ok);
 
+  static bool clean(const Dir& d) {
+    return !d.excluded && !d.pending_exclude && !d.pending_include &&
+           d.miss_streak == 0;
+  }
+  /// Applies `mutate` to one direction, keeping dirty_count_ in sync.
+  template <typename Fn>
+  void mutate_dir(Dir& d, Fn&& mutate) {
+    const bool was_clean = clean(d);
+    mutate(d);
+    dirty_count_ += (was_clean ? 0 : -1) + (clean(d) ? 0 : 1);
+  }
+
   int num_tors_;
   int ports_;
   int threshold_;
   std::vector<Dir> ingress_;
   std::vector<Dir> egress_;
   int excluded_count_{0};
+  int dirty_count_{0};  // directions for which !clean()
 };
 
 }  // namespace negotiator

@@ -1,0 +1,85 @@
+// Flat per-epoch message arenas for the scheduler control plane.
+//
+// The predefined phase delivers O(N·S) messages per epoch; a vector-of-
+// vectors inbox means N separate clears and N growing allocations churning
+// every epoch. The arena keeps one append-only buffer of (owner, message)
+// records — clear() is a single O(1) reset — and groups records by owner
+// with one stable counting sort the first time a consumer asks, preserving
+// per-owner delivery order exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+template <typename T>
+class InboxArena {
+ public:
+  explicit InboxArena(int owners = 0) { reset(owners); }
+
+  /// Sets the owner-id range [0, owners) and drops all messages.
+  void reset(int owners) {
+    NEG_ASSERT(owners >= 0, "negative owner count");
+    owners_ = owners;
+    clear();
+  }
+
+  /// Drops every message; capacity is retained across epochs.
+  void clear() {
+    items_.clear();
+    grouped_valid_ = false;
+  }
+
+  void push(std::int32_t owner, const T& message) {
+    NEG_ASSERT(owner >= 0 && owner < owners_, "owner out of range");
+    items_.emplace_back(owner, message);
+    grouped_valid_ = false;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t total() const { return items_.size(); }
+
+  /// Messages delivered to `owner`, in delivery order.
+  std::span<const T> for_owner(std::int32_t owner) const {
+    NEG_ASSERT(owner >= 0 && owner < owners_, "owner out of range");
+    if (!grouped_valid_) group();
+    const auto begin =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(owner)]);
+    const auto end = static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(owner) + 1]);
+    return std::span<const T>(grouped_.data() + begin, end - begin);
+  }
+
+ private:
+  /// Stable counting sort by owner into grouped_/offsets_.
+  void group() const {
+    offsets_.assign(static_cast<std::size_t>(owners_) + 1, 0);
+    for (const auto& [owner, msg] : items_) {
+      ++offsets_[static_cast<std::size_t>(owner) + 1];
+    }
+    for (std::size_t o = 1; o < offsets_.size(); ++o) {
+      offsets_[o] += offsets_[o - 1];
+    }
+    grouped_.resize(items_.size());
+    cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [owner, msg] : items_) {
+      grouped_[static_cast<std::size_t>(
+          cursor_[static_cast<std::size_t>(owner)]++)] = msg;
+    }
+    grouped_valid_ = true;
+  }
+
+  int owners_{0};
+  std::vector<std::pair<std::int32_t, T>> items_;
+  mutable std::vector<T> grouped_;
+  mutable std::vector<std::int32_t> offsets_;
+  mutable std::vector<std::int32_t> cursor_;
+  mutable bool grouped_valid_{false};
+};
+
+}  // namespace negotiator

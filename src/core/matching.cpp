@@ -30,6 +30,18 @@ MatchingEngine::MatchingEngine(const FlatTopology& topo,
       accept_rings_.emplace_back(topo_.tx_destinations(t, p), rng);
     }
   }
+  if (topo_.kind() != TopologyKind::kParallel) {
+    // Thin-clos rx ports depend only on the source's block; resolve each
+    // source's group once so grant() never needs a virtual call per check.
+    rx_group_of_src_.resize(static_cast<std::size_t>(n));
+    for (TorId src = 0; src < n; ++src) {
+      const TorId probe = src == 0 ? 1 : 0;  // any dst != src works
+      rx_group_of_src_[static_cast<std::size_t>(src)] =
+          topo_.rx_port(src, topo_.fixed_tx_port(src, probe), probe);
+    }
+  }
+  slot_of_tor_.assign(static_cast<std::size_t>(n), -1);
+  touched_.reserve(static_cast<std::size_t>(n));
 }
 
 RoundRobinRing& MatchingEngine::grant_ring(TorId dst, PortId rx) {
@@ -46,7 +58,7 @@ RoundRobinRing& MatchingEngine::accept_ring(TorId src, PortId tx) {
 }
 
 MatchingEngine::GrantResult MatchingEngine::grant(
-    TorId dst, const std::vector<RequestMsg>& requests,
+    TorId dst, std::span<const RequestMsg> requests,
     const std::vector<bool>& rx_eligible, Bytes epoch_capacity) {
   const int ports = topo_.ports_per_tor();
   NEG_ASSERT(static_cast<int>(rx_eligible.size()) == ports,
@@ -64,37 +76,32 @@ MatchingEngine::GrantResult MatchingEngine::grant(
   };
   std::vector<Work> work;
   work.reserve(requests.size());
+  // Dense index: slot_of_tor_[src] -> first Work entry for that source
+  // (matching the old scan's first-occurrence semantics).
+  touched_.clear();
   for (const RequestMsg& r : requests) {
     NEG_ASSERT(r.src != dst, "self request");
+    if (slot_of_tor_[static_cast<std::size_t>(r.src)] < 0) {
+      slot_of_tor_[static_cast<std::size_t>(r.src)] =
+          static_cast<std::int32_t>(work.size());
+      touched_.push_back(r.src);
+    }
     work.push_back(Work{r.src, std::max<Bytes>(r.size, 1), r.weighted_delay,
                         false});
   }
-
-  auto eligible_for_port = [&](TorId src, PortId p) {
-    if (topo_.kind() == TopologyKind::kParallel) return true;
-    // Thin-clos: rx port p only hears the sources of group p.
-    return topo_.rx_port(src, topo_.fixed_tx_port(src, dst), dst) == p;
-  };
 
   for (PortId p = 0; p < ports; ++p) {
     if (!rx_eligible[static_cast<std::size_t>(p)]) continue;
     Work* chosen = nullptr;
     switch (policy_) {
       case SelectionPolicy::kRoundRobin: {
-        const TorId picked = grant_ring(dst, p).pick([&](TorId member) {
-          if (!eligible_for_port(member, p)) return false;
-          for (const Work& w : work) {
-            if (w.src == member) return true;
-          }
-          return false;
-        });
+        // Ring membership already encodes port reachability (thin-clos
+        // rings span exactly one group), so the requester list is the
+        // whole candidate set — O(requesters), not O(ring size).
+        const TorId picked = grant_ring(dst, p).pick_among(touched_);
         if (picked != kInvalidTor) {
-          for (Work& w : work) {
-            if (w.src == picked) {
-              chosen = &w;
-              break;
-            }
-          }
+          chosen = &work[static_cast<std::size_t>(
+              slot_of_tor_[static_cast<std::size_t>(picked)])];
         }
         break;
       }
@@ -138,11 +145,14 @@ MatchingEngine::GrantResult MatchingEngine::grant(
     out.grants.emplace_back(chosen->src, g);
     out.port_used[static_cast<std::size_t>(p)] = true;
   }
+  for (const TorId t : touched_) {
+    slot_of_tor_[static_cast<std::size_t>(t)] = -1;
+  }
   return out;
 }
 
 MatchingEngine::AcceptResult MatchingEngine::accept(
-    TorId src, const std::vector<GrantMsg>& grants,
+    TorId src, std::span<const GrantMsg> grants,
     const std::vector<bool>& tx_eligible) {
   const int ports = topo_.ports_per_tor();
   NEG_ASSERT(static_cast<int>(tx_eligible.size()) == ports,
@@ -151,44 +161,61 @@ MatchingEngine::AcceptResult MatchingEngine::accept(
   out.port_used.assign(static_cast<std::size_t>(ports), false);
   if (grants.empty()) return out;
 
-  // Group the grants by the tx port they pin.
-  std::vector<std::vector<const GrantMsg*>> by_port(
-      static_cast<std::size_t>(ports));
-  for (const GrantMsg& g : grants) {
-    const PortId tx = topo_.kind() == TopologyKind::kParallel
-                          ? g.rx_port
-                          : topo_.fixed_tx_port(src, g.dst);
+  // Group the grants by the tx port they pin (index chains, no per-call
+  // vector-of-vectors): head/next form per-port singly linked lists in
+  // arrival order.
+  const bool parallel = topo_.kind() == TopologyKind::kParallel;
+  by_port_head_.assign(static_cast<std::size_t>(ports), -1);
+  by_port_tail_.assign(static_cast<std::size_t>(ports), -1);
+  next_in_port_.assign(grants.size(), -1);
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    const GrantMsg& g = grants[i];
+    const PortId tx =
+        parallel ? g.rx_port : topo_.fixed_tx_port(src, g.dst);
     NEG_ASSERT(tx >= 0 && tx < ports, "grant pins an invalid tx port");
-    by_port[static_cast<std::size_t>(tx)].push_back(&g);
+    const auto t = static_cast<std::size_t>(tx);
+    if (by_port_head_[t] < 0) {
+      by_port_head_[t] = static_cast<std::int32_t>(i);
+    } else {
+      next_in_port_[static_cast<std::size_t>(by_port_tail_[t])] =
+          static_cast<std::int32_t>(i);
+    }
+    by_port_tail_[t] = static_cast<std::int32_t>(i);
   }
 
   for (PortId p = 0; p < ports; ++p) {
     if (!tx_eligible[static_cast<std::size_t>(p)]) continue;
-    const auto& candidates = by_port[static_cast<std::size_t>(p)];
-    if (candidates.empty()) continue;
+    const std::int32_t head = by_port_head_[static_cast<std::size_t>(p)];
+    if (head < 0) continue;
     const GrantMsg* chosen = nullptr;
     if (policy_ == SelectionPolicy::kLongestDelay) {
-      for (const GrantMsg* g : candidates) {
-        if (chosen == nullptr || g->weighted_delay > chosen->weighted_delay) {
-          chosen = g;
+      for (std::int32_t i = head; i >= 0;
+           i = next_in_port_[static_cast<std::size_t>(i)]) {
+        const GrantMsg& g = grants[static_cast<std::size_t>(i)];
+        if (chosen == nullptr || g.weighted_delay > chosen->weighted_delay) {
+          chosen = &g;
         }
       }
     } else {
       // Ring-based pick for both kRoundRobin and kLargestSize (the source
       // has no size metadata in grants; fairness is the sensible default).
-      const TorId picked = accept_ring(src, p).pick([&](TorId member) {
-        for (const GrantMsg* g : candidates) {
-          if (g->dst == member) return true;
+      // Dense index: slot_of_tor_[dst] -> first candidate of this port.
+      touched_.clear();
+      for (std::int32_t i = head; i >= 0;
+           i = next_in_port_[static_cast<std::size_t>(i)]) {
+        const TorId d = grants[static_cast<std::size_t>(i)].dst;
+        if (slot_of_tor_[static_cast<std::size_t>(d)] < 0) {
+          slot_of_tor_[static_cast<std::size_t>(d)] = i;
+          touched_.push_back(d);
         }
-        return false;
-      });
+      }
+      const TorId picked = accept_ring(src, p).pick_among(touched_);
       if (picked != kInvalidTor) {
-        for (const GrantMsg* g : candidates) {
-          if (g->dst == picked) {
-            chosen = g;
-            break;
-          }
-        }
+        chosen = &grants[static_cast<std::size_t>(
+            slot_of_tor_[static_cast<std::size_t>(picked)])];
+      }
+      for (const TorId t : touched_) {
+        slot_of_tor_[static_cast<std::size_t>(t)] = -1;
       }
     }
     if (chosen == nullptr) continue;

@@ -13,8 +13,15 @@
 // (decremented by one epoch's capacity per granted port), kLongestDelay the
 // one with the largest weighted HoL delay (each requester granted once
 // before anyone is granted twice).
+//
+// Hot-path note: ring eligibility and chosen-candidate lookups are O(1)
+// through dense per-source / per-destination slot arrays (scratch members
+// reset via touched lists), not linear rescans of the request set — the
+// picks are byte-identical to the straightforward implementation (see
+// tests/test_matching_equivalence.cpp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -41,7 +48,7 @@ class MatchingEngine {
   /// GRANT step at `dst`: allocates every eligible rx port to the pending
   /// (non-relay) requests. `epoch_capacity` is the data volume one match
   /// can move in an epoch (used by the kLargestSize policy).
-  GrantResult grant(TorId dst, const std::vector<RequestMsg>& requests,
+  GrantResult grant(TorId dst, std::span<const RequestMsg> requests,
                     const std::vector<bool>& rx_eligible,
                     Bytes epoch_capacity);
 
@@ -52,7 +59,7 @@ class MatchingEngine {
   };
 
   /// ACCEPT step at `src`: picks at most one grant per eligible tx port.
-  AcceptResult accept(TorId src, const std::vector<GrantMsg>& grants,
+  AcceptResult accept(TorId src, std::span<const GrantMsg> grants,
                       const std::vector<bool>& tx_eligible);
 
   SelectionPolicy policy() const { return policy_; }
@@ -61,12 +68,32 @@ class MatchingEngine {
   RoundRobinRing& grant_ring(TorId dst, PortId rx);
   RoundRobinRing& accept_ring(TorId src, PortId tx);
 
+  /// True when (src -> dst) traffic can land on rx port `p` — always, in
+  /// the parallel network; only for src's own group port in thin-clos.
+  bool eligible_for_port(TorId src, PortId p) const {
+    return rx_group_of_src_.empty() ||
+           rx_group_of_src_[static_cast<std::size_t>(src)] == p;
+  }
+
   const FlatTopology& topo_;
   SelectionPolicy policy_;
   // Parallel network: one grant ring per destination; thin-clos: one per
   // (destination, rx port).
   std::vector<RoundRobinRing> grant_rings_;
   std::vector<RoundRobinRing> accept_rings_;
+  /// Thin-clos: the rx port (src -> anywhere) traffic lands on, resolved
+  /// through the virtual topology interface once at construction. Empty
+  /// for the parallel network (every port eligible).
+  std::vector<PortId> rx_group_of_src_;
+
+  // Scratch for the dense-index lookups, sized num_tors; entries are -1
+  // outside a grant()/accept() call (reset via the touched list).
+  std::vector<std::int32_t> slot_of_tor_;
+  std::vector<TorId> touched_;
+  // Scratch for accept()'s per-tx-port candidate chains.
+  std::vector<std::int32_t> by_port_head_;
+  std::vector<std::int32_t> by_port_tail_;
+  std::vector<std::int32_t> next_in_port_;
 };
 
 }  // namespace negotiator

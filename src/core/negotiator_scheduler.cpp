@@ -1,5 +1,7 @@
 #include "core/negotiator_scheduler.h"
 
+#include <span>
+
 #include "common/assert.h"
 #include "core/variants/centralized.h"
 #include "core/variants/informative.h"
@@ -17,17 +19,20 @@ NegotiatorScheduler::NegotiatorScheduler(const NetworkConfig& config,
       matching_(topo, informative_policy(config.scheduler), rng),
       rng_(rng.fork()),
       out_(static_cast<std::size_t>(topo.num_tors()) * topo.num_tors()),
-      inbox_requests_(static_cast<std::size_t>(topo.num_tors())),
-      inbox_grants_(static_cast<std::size_t>(topo.num_tors())),
-      inbox_accepts_(static_cast<std::size_t>(topo.num_tors())) {}
+      out_stamp_(static_cast<std::size_t>(topo.num_tors()) * topo.num_tors(),
+                 -1),
+      inbox_requests_(topo.num_tors()),
+      inbox_grants_(topo.num_tors()),
+      inbox_accepts_(topo.num_tors()) {}
 
 NegotiatorScheduler::PairOut& NegotiatorScheduler::outbox(TorId from,
                                                           TorId to) {
   NEG_ASSERT(from != to, "no self messages");
-  PairOut& entry =
-      out_[static_cast<std::size_t>(from) * topo_.num_tors() + to];
-  if (entry.stamp != epoch_) {
-    entry.stamp = epoch_;
+  const std::size_t index =
+      static_cast<std::size_t>(from) * topo_.num_tors() + to;
+  PairOut& entry = out_[index];
+  if (out_stamp_[index] != epoch_) {
+    out_stamp_[index] = epoch_;
     entry.has_request = entry.has_accept = false;
     entry.grants.clear();
     entry.relay_requests.clear();
@@ -47,9 +52,9 @@ Bytes NegotiatorScheduler::epoch_capacity_bytes() const {
 }
 
 void NegotiatorScheduler::clear_inboxes() {
-  for (auto& v : inbox_requests_) v.clear();
-  for (auto& v : inbox_grants_) v.clear();
-  for (auto& v : inbox_accepts_) v.clear();
+  inbox_requests_.clear();
+  inbox_grants_.clear();
+  inbox_accepts_.clear();
 }
 
 void NegotiatorScheduler::begin_epoch(std::int64_t epoch, Nanos now,
@@ -72,8 +77,9 @@ void NegotiatorScheduler::compute_accepts(const DemandView& /*demand*/,
                                           const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
   std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
+  if (inbox_grants_.empty()) return;
   for (TorId s = 0; s < topo_.num_tors(); ++s) {
-    const auto& grants = inbox_grants_[static_cast<std::size_t>(s)];
+    const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     for (PortId p = 0; p < ports; ++p) {
       tx_eligible[static_cast<std::size_t>(p)] = !faults.tx_excluded(s, p);
@@ -122,8 +128,10 @@ void NegotiatorScheduler::compute_grants(const DemandView& demand,
                                          const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
+  if (inbox_requests_.empty()) return;
   for (TorId d = 0; d < topo_.num_tors(); ++d) {
-    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    const std::span<const RequestMsg> requests =
+        inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
     // §3.6.5: a destination whose host-facing buffer is full withholds
     // grants until it drains.
@@ -160,25 +168,6 @@ void NegotiatorScheduler::sample_requests(const DemandView& demand,
       entry.has_request = true;
       entry.request = r;
     }
-  }
-}
-
-void NegotiatorScheduler::deliver_pair(TorId src, TorId dst, bool ok) {
-  PairOut& entry =
-      out_[static_cast<std::size_t>(src) * topo_.num_tors() + dst];
-  if (entry.stamp != epoch_) return;
-  if (!ok) return;
-  if (entry.has_request) {
-    inbox_requests_[static_cast<std::size_t>(dst)].push_back(entry.request);
-  }
-  for (const RequestMsg& r : entry.relay_requests) {
-    inbox_requests_[static_cast<std::size_t>(dst)].push_back(r);
-  }
-  for (const GrantMsg& g : entry.grants) {
-    inbox_grants_[static_cast<std::size_t>(dst)].push_back(g);
-  }
-  if (entry.has_accept) {
-    inbox_accepts_[static_cast<std::size_t>(dst)].push_back(entry.accept);
   }
 }
 

@@ -25,6 +25,7 @@
 #include "common/types.h"
 #include "core/demand_view.h"
 #include "core/fault_detector.h"
+#include "core/inbox.h"
 #include "core/matching.h"
 #include "core/messages.h"
 #include "topo/topology.h"
@@ -45,8 +46,27 @@ class NegotiatorScheduler {
                            const DemandView& demand, const FaultPlane& faults);
 
   /// Predefined-phase exchange for pair (src -> dst). When `ok` is false
-  /// (link failure) the queued messages are lost.
-  void deliver_pair(TorId src, TorId dst, bool ok);
+  /// (link failure) the queued messages are lost. Inline: the fabric calls
+  /// this for every predefined-phase slot connection.
+  void deliver_pair(TorId src, TorId dst, bool ok) {
+    const std::size_t index =
+        static_cast<std::size_t>(src) * topo_.num_tors() + dst;
+    if (out_stamp_[index] != epoch_) return;
+    if (!ok) return;
+    const PairOut& entry = out_[index];
+    if (entry.has_request) {
+      inbox_requests_.push(dst, entry.request);
+    }
+    for (const RequestMsg& r : entry.relay_requests) {
+      inbox_requests_.push(dst, r);
+    }
+    for (const GrantMsg& g : entry.grants) {
+      inbox_grants_.push(dst, g);
+    }
+    if (entry.has_accept) {
+      inbox_accepts_.push(dst, entry.accept);
+    }
+  }
 
   /// Matching for this epoch's scheduled phase.
   const std::vector<Match>& matches() const { return matches_; }
@@ -58,11 +78,13 @@ class NegotiatorScheduler {
 
  protected:
   /// Per-pair outgoing messages for the current epoch, stamp-invalidated
-  /// instead of cleared (O(#messages) per epoch, not O(N^2)). A pair can
-  /// carry several grants in one epoch: in the parallel network a
-  /// destination may grant multiple rx ports to the same source (Fig. 3a).
+  /// instead of cleared (O(#messages) per epoch, not O(N^2)). The stamps
+  /// live in a separate dense array (out_stamp_) so the per-slot delivery
+  /// scan only touches 8 bytes per pair unless the pair actually has
+  /// messages this epoch. A pair can carry several grants in one epoch: in
+  /// the parallel network a destination may grant multiple rx ports to the
+  /// same source (Fig. 3a).
   struct PairOut {
-    std::int64_t stamp{-1};
     bool has_request{false};
     bool has_accept{false};
     RequestMsg request;
@@ -102,10 +124,14 @@ class NegotiatorScheduler {
   std::size_t epoch_grants_{0};
   std::size_t epoch_accepts_{0};
 
-  std::vector<PairOut> out_;                        // N*N, stamped
-  std::vector<std::vector<RequestMsg>> inbox_requests_;  // by destination
-  std::vector<std::vector<GrantMsg>> inbox_grants_;      // by source
-  std::vector<std::vector<AcceptMsg>> inbox_accepts_;    // by destination
+  std::vector<PairOut> out_;                  // N*N
+  std::vector<std::int64_t> out_stamp_;       // N*N, epoch of last write
+  // Per-epoch message arenas (one flat buffer each, O(1) clear; see
+  // core/inbox.h). Owners: requests/accepts by destination, grants by the
+  // granted source.
+  InboxArena<RequestMsg> inbox_requests_;
+  InboxArena<GrantMsg> inbox_grants_;
+  InboxArena<AcceptMsg> inbox_accepts_;
 };
 
 /// Builds the scheduler variant requested by `config.scheduler`.

@@ -5,6 +5,8 @@
 // granted"). Pointer updates are unconditional, as in RRM (not iSLIP).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -23,6 +25,15 @@ class RoundRobinRing {
     NEG_ASSERT(!members_.empty(), "ring needs members");
     pointer_ = static_cast<std::size_t>(
         rng.next_below(static_cast<std::int64_t>(members_.size())));
+    TorId max_member = 0;
+    for (const TorId m : members_) max_member = std::max(max_member, m);
+    position_of_.assign(static_cast<std::size_t>(max_member) + 1, -1);
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      NEG_ASSERT(position_of_[static_cast<std::size_t>(members_[i])] < 0,
+                 "duplicate ring member");
+      position_of_[static_cast<std::size_t>(members_[i])] =
+          static_cast<std::int32_t>(i);
+    }
   }
 
   /// Picks the first eligible member at or after the pointer, advances the
@@ -40,12 +51,43 @@ class RoundRobinRing {
     return kInvalidTor;
   }
 
+  /// Picks the candidate closest clockwise to the pointer (equivalent to
+  /// pick() with "is a candidate" eligibility, but O(candidates) instead
+  /// of O(ring size) — the hot-path form). Non-members are skipped;
+  /// kInvalidTor when no candidate is a member.
+  template <typename Container>
+  TorId pick_among(const Container& candidates) {
+    const std::size_t n = members_.size();
+    std::size_t best_dist = n;  // any real distance is < n
+    std::size_t best_pos = 0;
+    TorId best = kInvalidTor;
+    for (const TorId c : candidates) {
+      if (c < 0 || static_cast<std::size_t>(c) >= position_of_.size()) {
+        continue;
+      }
+      const std::int32_t pos = position_of_[static_cast<std::size_t>(c)];
+      if (pos < 0) continue;
+      const auto p = static_cast<std::size_t>(pos);
+      const std::size_t dist = p >= pointer_ ? p - pointer_
+                                             : p + n - pointer_;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_pos = p;
+        best = c;
+      }
+    }
+    if (best != kInvalidTor) pointer_ = (best_pos + 1) % n;
+    return best;
+  }
+
   std::size_t size() const { return members_.size(); }
   const std::vector<TorId>& members() const { return members_; }
   std::size_t pointer() const { return pointer_; }
 
  private:
   std::vector<TorId> members_;
+  /// Ring position of each member id; -1 for non-members.
+  std::vector<std::int32_t> position_of_;
   std::size_t pointer_{0};
 };
 

@@ -1,5 +1,7 @@
 #include "core/variants/projector.h"
 
+#include <span>
+
 #include "common/assert.h"
 
 namespace negotiator {
@@ -42,8 +44,10 @@ void ProjectorScheduler::sample_requests(const DemandView& demand,
 void ProjectorScheduler::compute_grants(const DemandView& /*demand*/,
                                         const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
+  if (inbox_requests_.empty()) return;
   for (TorId d = 0; d < topo_.num_tors(); ++d) {
-    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    const std::span<const RequestMsg> requests =
+        inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
     for (PortId p = 0; p < ports; ++p) {
       if (faults.rx_excluded(d, p)) continue;
@@ -72,8 +76,9 @@ void ProjectorScheduler::compute_grants(const DemandView& /*demand*/,
 void ProjectorScheduler::compute_accepts(const DemandView& /*demand*/,
                                          const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
+  if (inbox_grants_.empty()) return;
   for (TorId s = 0; s < topo_.num_tors(); ++s) {
-    const auto& grants = inbox_grants_[static_cast<std::size_t>(s)];
+    const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     for (PortId p = 0; p < ports; ++p) {
       if (faults.tx_excluded(s, p)) continue;

@@ -1,6 +1,7 @@
 #include "core/variants/selective_relay.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/assert.h"
 
@@ -109,8 +110,10 @@ void SelectiveRelayScheduler::compute_grants(const DemandView& demand,
   const int ports = topo_.ports_per_tor();
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
   std::vector<RequestMsg> direct;
+  if (inbox_requests_.empty()) return;
   for (TorId d = 0; d < topo_.num_tors(); ++d) {
-    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    const std::span<const RequestMsg> requests =
+        inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
     direct.clear();
     for (const RequestMsg& r : requests) {
@@ -162,8 +165,9 @@ void SelectiveRelayScheduler::compute_accepts(const DemandView& /*demand*/,
   const int ports = topo_.ports_per_tor();
   std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
   std::vector<GrantMsg> direct;
+  if (inbox_grants_.empty()) return;
   for (TorId s = 0; s < topo_.num_tors(); ++s) {
-    const auto& grants = inbox_grants_[static_cast<std::size_t>(s)];
+    const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     direct.clear();
     for (const GrantMsg& g : grants) {

@@ -1,6 +1,7 @@
 #include "core/variants/stateful.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/assert.h"
 
@@ -48,8 +49,10 @@ void StatefulScheduler::compute_grants(const DemandView& /*demand*/,
   const int ports = topo_.ports_per_tor();
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
   std::vector<RequestMsg> eligible_requests;
+  if (inbox_requests_.empty()) return;
   for (TorId d = 0; d < topo_.num_tors(); ++d) {
-    const auto& requests = inbox_requests_[static_cast<std::size_t>(d)];
+    const std::span<const RequestMsg> requests =
+        inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
     eligible_requests.clear();
     for (const RequestMsg& r : requests) {
@@ -86,8 +89,7 @@ void StatefulScheduler::consume_accept_inbox(const DemandView& /*demand*/) {
   for (auto it = tentative_.begin(); it != tentative_.end();) {
     bool resolved = false;
     bool accepted = false;
-    for (const AcceptMsg& a :
-         inbox_accepts_[static_cast<std::size_t>(it->dst)]) {
+    for (const AcceptMsg& a : inbox_accepts_.for_owner(it->dst)) {
       if (a.src == it->src && a.rx_port == it->rx_port) {
         resolved = true;
         accepted = a.accepted;

@@ -72,6 +72,52 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
                              false);
   }
   scheduler_ = make_negotiator_scheduler(config_, *topo_, rng.fork());
+  sim_.set_sink(this);
+
+  // rx ports are destination-independent in both topologies (parallel:
+  // plane-preserving rx == tx; thin-clos: rx pinned by the source's
+  // block), so resolve them through the virtual interface once instead of
+  // per slot in the predefined hot loop.
+  rx_port_table_.assign(
+      static_cast<std::size_t>(config_.num_tors) * config_.ports_per_tor,
+      kInvalidPort);
+  for (TorId s = 0; s < config_.num_tors; ++s) {
+    for (PortId p = 0; p < config_.ports_per_tor; ++p) {
+      for (TorId d = 0; d < config_.num_tors; ++d) {
+        if (d == s || !topo_->reachable(s, p, d)) continue;
+        rx_port_table_[static_cast<std::size_t>(s) * config_.ports_per_tor +
+                       p] = topo_->rx_port(s, p, d);
+        break;
+      }
+    }
+  }
+}
+
+void NegotiatorFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
+  const Flow& f = flow_table_.flow(e.flow_index);
+  // Queues carry the dense FlowTable index; the external id only appears
+  // in reported samples.
+  Flow queued = f;
+  queued.id = e.flow_index;
+  tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, now);
+  arrived_[static_cast<std::size_t>(f.src) * config_.num_tors + f.dst] +=
+      f.size;
+}
+
+void NegotiatorFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
+  if (e.fail) {
+    links_.fail(e.tor, e.port, e.dir);
+  } else {
+    links_.repair(e.tor, e.port, e.dir);
+  }
+}
+
+void NegotiatorFabric::on_relay_handoff(const RelayHandoffEvent& e,
+                                        Nanos now) {
+  NEG_ASSERT(relay_enabled_, "relay handoff without selective relay");
+  relay_[static_cast<std::size_t>(e.intermediate)].enqueue(e.final_dst,
+                                                           e.flow, e.bytes,
+                                                           now);
 }
 
 void NegotiatorFabric::add_flow(const Flow& flow) {
@@ -80,31 +126,13 @@ void NegotiatorFabric::add_flow(const Flow& flow) {
                  flow.dst >= 0 && flow.dst < config_.num_tors,
              "flow endpoints out of range");
   const int index = flow_table_.add(flow);
-  sim_.events().schedule(flow.arrival, [this, index](Nanos when) {
-    const Flow& f = flow_table_.flow(index);
-    // Queues carry the dense FlowTable index; the external id only appears
-    // in reported samples.
-    Flow queued = f;
-    queued.id = index;
-    tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, when);
-    arrived_[static_cast<std::size_t>(f.src) * config_.num_tors + f.dst] +=
-        f.size;
-  });
+  sim_.events().schedule_flow_arrival(flow.arrival, index);
 }
 
 void NegotiatorFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
                                            LinkDirection dir, bool fail) {
-  sim_.events().schedule(when, [this, tor, port, dir, fail](Nanos) {
-    if (fail) {
-      links_.fail(tor, port, dir);
-    } else {
-      links_.repair(tor, port, dir);
-    }
-  });
-}
-
-PortId NegotiatorFabric::rx_port_for(TorId src, PortId tx, TorId dst) const {
-  return topo_->rx_port(src, tx, dst);
+  sim_.events().schedule_link_toggle(when,
+                                     LinkToggleEvent{tor, port, dir, fail});
 }
 
 void NegotiatorFabric::deliver_direct(int flow_index, TorId dst, Bytes bytes,
@@ -146,6 +174,39 @@ void NegotiatorFabric::run_epoch() {
   ++epoch_;
 }
 
+void NegotiatorFabric::rebuild_predefined_table(int rotation) {
+  // The table only depends on the rotation modulo the schedule's cycle, so
+  // a non-rotating config builds it exactly once.
+  if (rotation == predef_table_rotation_) return;
+  predef_table_rotation_ = rotation;
+  const int slots = timing_.predefined_slots();
+  const int n = config_.num_tors;
+  const int ports = config_.ports_per_tor;
+  predef_conns_.clear();
+  predef_conns_.reserve(static_cast<std::size_t>(slots) * n * ports);
+  predef_slot_begin_.assign(static_cast<std::size_t>(slots) + 1, 0);
+  for (int slot = 0; slot < slots; ++slot) {
+    predef_slot_begin_[static_cast<std::size_t>(slot)] =
+        static_cast<std::int32_t>(predef_conns_.size());
+    for (TorId s = 0; s < n; ++s) {
+      for (PortId p = 0; p < ports; ++p) {
+        const TorId d = schedule_.dst_of(s, p, slot, rotation);
+        if (d == kInvalidTor) continue;
+        const PortId rx =
+            rx_port_table_[static_cast<std::size_t>(s) * ports + p];
+        predef_conns_.push_back(PredefConn{
+            s, p, d, rx,
+            static_cast<std::uint32_t>(
+                links_.raw_index(s, p, LinkDirection::kEgress)),
+            static_cast<std::uint32_t>(
+                links_.raw_index(d, rx, LinkDirection::kIngress))});
+      }
+    }
+  }
+  predef_slot_begin_[static_cast<std::size_t>(slots)] =
+      static_cast<std::int32_t>(predef_conns_.size());
+}
+
 void NegotiatorFabric::run_predefined_phase() {
   // Stride-17 rotation: with 16 slots per port, a +1 step would keep a
   // pair on the same physical link for 16 consecutive epochs, so a failed
@@ -157,38 +218,57 @@ void NegotiatorFabric::run_predefined_phase() {
       config_.rotate_predefined_rule
           ? static_cast<int>((epoch_ * 17) & 0x3fffffff)
           : 0;
+  rebuild_predefined_table(rotation);
   const Bytes payload = config_.piggyback_payload_bytes();
   const Nanos prop = config_.propagation_delay_ns;
+  const bool piggyback = config_.piggyback;
+  NegotiatorScheduler* const scheduler = scheduler_.get();
   for (int slot = 0; slot < timing_.predefined_slots(); ++slot) {
     sim_.advance_to(timing_.predefined_slot_start(epoch_, slot));
     const Nanos data_end = timing_.predefined_slot_data_end(epoch_, slot);
-    for (TorId s = 0; s < config_.num_tors; ++s) {
-      TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
-      for (PortId p = 0; p < config_.ports_per_tor; ++p) {
-        const TorId d = schedule_.dst_of(s, p, slot, rotation);
-        if (d == kInvalidTor) continue;
-        const PortId rx = rx_port_for(s, p, d);
-        const bool up = links_.path_up(s, p, d, rx);
-        scheduler_->deliver_pair(s, d, up);
-        faults_.observe_ingress(d, rx, up);
-        faults_.observe_egress(s, p, up);
-        if (!config_.piggyback || tor.pending_to(d) == 0) continue;
-        if (host_plane_ && pause_advertised_[static_cast<std::size_t>(d)]) {
-          continue;  // §3.6.5: withhold data towards a paused receiver
-        }
-        if (up) {
-          auto pkt = tor.dequeue_packet(d, payload);
-          NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
-          ++piggyback_packets_;
-          deliver_direct(static_cast<int>(pkt->flow), d, pkt->bytes,
-                         data_end + prop);
-        } else if (!faults_.tx_excluded(s, p) && !faults_.rx_excluded(d, rx)) {
-          // Undetected failure: the packet is transmitted into a dark fibre
-          // and retransmitted by the upper layer — model as a wasted slot
-          // with the bytes back at the queue head.
-          auto pkt = tor.dequeue_packet(d, payload);
-          if (pkt) tor.requeue_front(d, *pkt);
-        }
+    // A slot's link events fired during advance_to, so health is stable
+    // within the slot: on an all-up fabric with a quiescent fault plane,
+    // per-pair health reads and all-healthy observations are skipped (see
+    // FaultPlane::quiescent()).
+    const bool healthy = links_.all_up() && faults_.quiescent();
+    const PredefConn* const first =
+        predef_conns_.data() + predef_slot_begin_[static_cast<std::size_t>(slot)];
+    const PredefConn* const last =
+        predef_conns_.data() +
+        predef_slot_begin_[static_cast<std::size_t>(slot) + 1];
+    for (const PredefConn* c = first; c != last; ++c) {
+      bool up = true;
+      if (!healthy) {
+        up = links_.up_raw(c->tx_link) && links_.up_raw(c->rx_link);
+      }
+      scheduler->deliver_pair(c->src, c->dst, up);
+      if (!healthy) {
+        faults_.observe_ingress(c->dst, c->rx, up);
+        faults_.observe_egress(c->src, c->tx, up);
+      }
+      // Bitmap membership == "queue non-empty": one bit read instead of a
+      // pointer chase into the per-destination queue.
+      TorSwitch& tor = tors_[static_cast<std::size_t>(c->src)];
+      if (!piggyback || !tor.active_destinations().contains(c->dst)) {
+        continue;
+      }
+      if (host_plane_ &&
+          pause_advertised_[static_cast<std::size_t>(c->dst)]) {
+        continue;  // §3.6.5: withhold data towards a paused receiver
+      }
+      if (up) {
+        auto pkt = tor.dequeue_packet(c->dst, payload);
+        NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
+        ++piggyback_packets_;
+        deliver_direct(static_cast<int>(pkt->flow), c->dst, pkt->bytes,
+                       data_end + prop);
+      } else if (!faults_.tx_excluded(c->src, c->tx) &&
+                 !faults_.rx_excluded(c->dst, c->rx)) {
+        // Undetected failure: the packet is transmitted into a dark fibre
+        // and retransmitted by the upper layer — model as a wasted slot
+        // with the bytes back at the queue head.
+        auto pkt = tor.dequeue_packet(c->dst, payload);
+        if (pkt) tor.requeue_front(c->dst, *pkt);
       }
     }
   }
@@ -201,11 +281,18 @@ void NegotiatorFabric::run_scheduled_phase() {
   struct Active {
     Match m;
     Bytes relay_remaining;
+    std::uint32_t tx_link;  // LinkState raw index, egress
+    std::uint32_t rx_link;  // LinkState raw index, ingress
   };
   std::vector<Active> active;
   active.reserve(scheduler_->matches().size());
   for (const Match& m : scheduler_->matches()) {
-    active.push_back(Active{m, m.relay ? m.relay_volume : 0});
+    active.push_back(Active{
+        m, m.relay ? m.relay_volume : 0,
+        static_cast<std::uint32_t>(
+            links_.raw_index(m.src, m.tx_port, LinkDirection::kEgress)),
+        static_cast<std::uint32_t>(
+            links_.raw_index(m.dst, m.rx_port, LinkDirection::kIngress))});
   }
   total_matches_ += static_cast<std::int64_t>(active.size());
   match_slots_offered_ += static_cast<std::int64_t>(active.size()) *
@@ -214,12 +301,21 @@ void NegotiatorFabric::run_scheduled_phase() {
   for (int slot = 0; slot < timing_.scheduled_slots(); ++slot) {
     sim_.advance_to(timing_.scheduled_slot_start(epoch_, slot));
     const Nanos arrival = timing_.scheduled_slot_end(epoch_, slot) + prop;
+    const bool healthy = links_.all_up();
     for (Active& a : active) {
       const Match& m = a.m;
       TorSwitch& tor = tors_[static_cast<std::size_t>(m.src)];
-      if (!links_.path_up(m.src, m.tx_port, m.dst, m.rx_port)) continue;
-      // 1. Direct data for the matched destination.
-      if (auto pkt = tor.dequeue_packet(m.dst, payload)) {
+      if (!healthy &&
+          !(links_.up_raw(a.tx_link) && links_.up_raw(a.rx_link))) {
+        continue;
+      }
+      // 1. Direct data for the matched destination. The pending check is a
+      // plain counter read — most slots of an over-scheduled match find a
+      // drained queue (§3.5), and skipping the dequeue call is the hot
+      // path's biggest saving.
+      if (tor.active_destinations().contains(m.dst)) {
+        auto pkt = tor.dequeue_packet(m.dst, payload);
+        NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
         ++match_slots_used_;
         deliver_direct(static_cast<int>(pkt->flow), m.dst, pkt->bytes,
                        arrival);
@@ -227,8 +323,10 @@ void NegotiatorFabric::run_scheduled_phase() {
       }
       // 2. Second-hop relayed data parked at this ToR for the destination.
       if (relay_enabled_) {
-        if (auto chunk = relay_[static_cast<std::size_t>(m.src)]
-                             .dequeue_packet(m.dst, payload)) {
+        RelayQueueSet& parked = relay_[static_cast<std::size_t>(m.src)];
+        if (parked.bytes_for(m.dst) > 0) {
+          auto chunk = parked.dequeue_packet(m.dst, payload);
+          NEG_ASSERT(chunk.has_value(), "pending relay yielded no chunk");
           deliver_direct(static_cast<int>(chunk->flow), m.dst, chunk->bytes,
                          arrival);
           continue;
@@ -240,15 +338,11 @@ void NegotiatorFabric::run_scheduled_phase() {
         if (auto pkt = tor.dequeue_elephant_packet(m.relay_final_dst, cap)) {
           a.relay_remaining -= pkt->bytes;
           goodput_.record_relay_reception(m.dst, pkt->bytes, arrival);
-          const TorId mid = m.dst;
-          const TorId final_dst = m.relay_final_dst;
-          const FlowId flow = pkt->flow;
-          const Bytes bytes = pkt->bytes;
-          sim_.events().schedule(arrival, [this, mid, final_dst, flow, bytes](
-                                              Nanos when) {
-            relay_[static_cast<std::size_t>(mid)].enqueue(final_dst, flow,
-                                                          bytes, when);
-          });
+          // The chunk lands in the intermediate's relay queue after the
+          // propagation delay — a typed event, no closure allocation.
+          sim_.events().schedule_relay_handoff(
+              arrival, RelayHandoffEvent{m.dst, m.relay_final_dst, pkt->flow,
+                                         pkt->bytes});
         }
       }
       // Otherwise the link idles this slot: the cost of stateless
@@ -315,8 +409,7 @@ std::vector<TorId> NegotiatorFabric::relay_active_destinations(
   return out;
 }
 
-const std::set<TorId>& NegotiatorFabric::active_destinations(
-    TorId src) const {
+const ActiveSet& NegotiatorFabric::active_destinations(TorId src) const {
   return tors_[static_cast<std::size_t>(src)].active_destinations();
 }
 

@@ -70,6 +70,10 @@ class FabricSim {
   /// Bytes still queued anywhere in the fabric.
   virtual Bytes total_backlog() const = 0;
 
+  /// Discrete events executed by the simulation clock so far (perf
+  /// accounting for bench_perf_engine).
+  virtual std::uint64_t events_executed() const = 0;
+
   /// Per-epoch accepts/grants ratio (Fig. 14); empty for the oblivious
   /// fabric, which has no matching step.
   virtual std::vector<double> match_ratio_series() const { return {}; }
@@ -81,7 +85,9 @@ class FabricSim {
 };
 
 /// NegotiaToR fabric: predefined + scheduled phases per epoch.
-class NegotiatorFabric final : public FabricSim, public DemandView {
+class NegotiatorFabric final : public FabricSim,
+                               public DemandView,
+                               private EventSink {
  public:
   /// `stats_window_ns` > 0 enables per-ToR bandwidth time series.
   explicit NegotiatorFabric(const NetworkConfig& config,
@@ -95,6 +101,9 @@ class NegotiatorFabric final : public FabricSim, public DemandView {
   LinkState& links() override { return links_; }
   const NetworkConfig& config() const override { return config_; }
   Bytes total_backlog() const override;
+  std::uint64_t events_executed() const override {
+    return sim_.events().executed();
+  }
   std::vector<double> match_ratio_series() const override {
     return ratio_series_;
   }
@@ -111,7 +120,7 @@ class NegotiatorFabric final : public FabricSim, public DemandView {
   Bytes relay_pending(TorId tor, TorId final_dst) const override;
   Bytes relay_queue_total(TorId tor) const override;
   std::vector<TorId> relay_active_destinations(TorId tor) const override;
-  const std::set<TorId>& active_destinations(TorId src) const override;
+  const ActiveSet& active_destinations(TorId src) const override;
   bool rx_paused(TorId tor) const override;
 
   /// §3.6.5 host plane, when enabled in the config (else nullptr).
@@ -129,10 +138,15 @@ class NegotiatorFabric final : public FabricSim, public DemandView {
   std::int64_t piggyback_packets() const { return piggyback_packets_; }
 
  private:
+  // EventSink: typed events scheduled on the simulation clock.
+  void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override;
+  void on_link_toggle(const LinkToggleEvent& e, Nanos now) override;
+  void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
+
   void run_epoch();
   void run_predefined_phase();
   void run_scheduled_phase();
-  PortId rx_port_for(TorId src, PortId tx, TorId dst) const;
+  void rebuild_predefined_table(int rotation);
   void deliver_direct(int flow_index, TorId dst, Bytes bytes, Nanos arrival);
 
   NetworkConfig config_;
@@ -161,6 +175,26 @@ class NegotiatorFabric final : public FabricSim, public DemandView {
   /// Pause state advertised to senders during the previous predefined
   /// phase; refreshed once per epoch.
   std::vector<bool> pause_advertised_;
+
+  /// One live predefined-phase connection, fully resolved: the slots×N×P
+  /// loop reads these flat records instead of re-deriving dst/rx/link
+  /// health indices through virtual calls every slot.
+  struct PredefConn {
+    TorId src;
+    PortId tx;
+    TorId dst;
+    PortId rx;
+    std::uint32_t tx_link;  // LinkState raw index, egress at (src, tx)
+    std::uint32_t rx_link;  // LinkState raw index, ingress at (dst, rx)
+  };
+  std::vector<PredefConn> predef_conns_;        // grouped by slot
+  std::vector<std::int32_t> predef_slot_begin_;  // slots + 1 offsets
+  /// Rotation value the table was built for; -1 forces the first build.
+  int predef_table_rotation_{-1};
+  /// rx port of a transmission leaving (src, tx) — destination-independent
+  /// in both topologies, precomputed once. kInvalidPort for a port that
+  /// reaches no one (thin-clos self block of size 1).
+  std::vector<PortId> rx_port_table_;  // [src * ports_per_tor + tx]
 };
 
 /// Builds the fabric matching `config.scheduler` (NegotiaToR family or the

@@ -25,28 +25,65 @@ ObliviousFabric::ObliviousFabric(const NetworkConfig& config,
     tors_.emplace_back(t, config_.num_tors, config_.pias);
     relay_.emplace_back(config_.num_tors);
   }
+  sim_.set_sink(this);
+
+  const int cycle = rotor_.cycle_slots();
+  slot_conns_.reserve(static_cast<std::size_t>(cycle) * config_.num_tors *
+                      config_.ports_per_tor);
+  slot_conn_begin_.assign(static_cast<std::size_t>(cycle) + 1, 0);
+  for (int slot = 0; slot < cycle; ++slot) {
+    slot_conn_begin_[static_cast<std::size_t>(slot)] =
+        static_cast<std::int32_t>(slot_conns_.size());
+    for (TorId s = 0; s < config_.num_tors; ++s) {
+      for (PortId p = 0; p < config_.ports_per_tor; ++p) {
+        const TorId m = rotor_.dst_of(s, p, slot);
+        if (m == kInvalidTor) continue;
+        const PortId rx = topo_->rx_port(s, p, m);
+        slot_conns_.push_back(SlotConn{
+            s, p, m, rx,
+            static_cast<std::uint32_t>(
+                links_.raw_index(s, p, LinkDirection::kEgress)),
+            static_cast<std::uint32_t>(
+                links_.raw_index(m, rx, LinkDirection::kIngress))});
+      }
+    }
+  }
+  slot_conn_begin_[static_cast<std::size_t>(cycle)] =
+      static_cast<std::int32_t>(slot_conns_.size());
 }
 
 void ObliviousFabric::add_flow(const Flow& flow) {
   NEG_ASSERT(flow.arrival >= sim_.now(), "flow arrives in the past");
   const int index = flow_table_.add(flow);
-  sim_.events().schedule(flow.arrival, [this, index](Nanos when) {
-    const Flow& f = flow_table_.flow(index);
-    Flow queued = f;
-    queued.id = index;  // queues carry the dense index
-    tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, when);
-  });
+  sim_.events().schedule_flow_arrival(flow.arrival, index);
+}
+
+void ObliviousFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
+  const Flow& f = flow_table_.flow(e.flow_index);
+  Flow queued = f;
+  queued.id = e.flow_index;  // queues carry the dense index
+  tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, now);
+}
+
+void ObliviousFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
+  if (e.fail) {
+    links_.fail(e.tor, e.port, e.dir);
+  } else {
+    links_.repair(e.tor, e.port, e.dir);
+  }
+}
+
+void ObliviousFabric::on_relay_handoff(const RelayHandoffEvent& e,
+                                       Nanos now) {
+  relay_[static_cast<std::size_t>(e.intermediate)].enqueue(e.final_dst,
+                                                           e.flow, e.bytes,
+                                                           now);
 }
 
 void ObliviousFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
                                           LinkDirection dir, bool fail) {
-  sim_.events().schedule(when, [this, tor, port, dir, fail](Nanos) {
-    if (fail) {
-      links_.fail(tor, port, dir);
-    } else {
-      links_.repair(tor, port, dir);
-    }
-  });
+  sim_.events().schedule_link_toggle(when,
+                                     LinkToggleEvent{tor, port, dir, fail});
 }
 
 TorId ObliviousFabric::next_spread_dst(TorId src, TorId exclude) {
@@ -73,55 +110,59 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
   const Nanos arrival = rotor_.slot_end(global_slot) +
                         config_.propagation_delay_ns;
   const int n = config_.num_tors;
-  for (TorId s = 0; s < n; ++s) {
+  const int slot = static_cast<int>(global_slot % rotor_.cycle_slots());
+  const bool healthy = links_.all_up();
+  const SlotConn* const first =
+      slot_conns_.data() + slot_conn_begin_[static_cast<std::size_t>(slot)];
+  const SlotConn* const last =
+      slot_conns_.data() +
+      slot_conn_begin_[static_cast<std::size_t>(slot) + 1];
+  for (const SlotConn* c = first; c != last; ++c) {
+    const TorId s = c->src;
+    const TorId m = c->dst;
+    if (!healthy &&
+        !(links_.up_raw(c->tx_link) && links_.up_raw(c->rx_link))) {
+      continue;
+    }
     TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
     RelayQueueSet& parked = relay_[static_cast<std::size_t>(s)];
-    for (PortId p = 0; p < config_.ports_per_tor; ++p) {
-      const TorId m = rotor_.dst_of(s, p, global_slot);
-      if (m == kInvalidTor) continue;
-      const PortId rx = topo_->rx_port(s, p, m);
-      if (!links_.path_up(s, p, m, rx)) continue;
-      // The connection's framing advertises the sender's relay occupancy to
-      // the receiver (used to gate future spreading towards s).
-      last_occupancy_[static_cast<std::size_t>(m) * n + s] =
-          parked.total_bytes();
-      // 1. Second hop: deliver relayed data whose final destination is m.
+    // The connection's framing advertises the sender's relay occupancy to
+    // the receiver (used to gate future spreading towards s).
+    last_occupancy_[static_cast<std::size_t>(m) * n + s] =
+        parked.total_bytes();
+    // 1. Second hop: deliver relayed data whose final destination is m.
+    if (parked.bytes_for(m) > 0) {
       if (auto chunk = parked.dequeue_packet(m, payload)) {
         flow_table_.credit(static_cast<int>(chunk->flow), chunk->bytes,
                            arrival, fct_);
         goodput_.record_delivery(m, chunk->bytes, arrival);
         continue;
       }
-      // 2. VLB spread: detour the next backlogged destination through m.
-      //    When the round-robin pointer lands on m itself the data goes
-      //    direct (the lucky 1/N case of uniform spreading).
-      // Congestion control: no spreading into a full intermediate buffer —
-      // the slot idles until m drains (pure VLB waits for credit; there is
-      // no adaptive fall-back to direct transmission in the baseline).
-      const bool room =
-          last_occupancy_[static_cast<std::size_t>(s) * n + m] <
-          config_.oblivious.relay_queue_capacity;
-      if (!room) continue;
-      const TorId d = next_spread_dst(s, kInvalidTor);
-      if (d == kInvalidTor) continue;
-      if (d == m) {
-        if (auto pkt = tor.dequeue_packet(m, payload)) {
-          flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes, arrival,
-                             fct_);
-          goodput_.record_delivery(m, pkt->bytes, arrival);
-        }
-        continue;
+    }
+    // 2. VLB spread: detour the next backlogged destination through m.
+    //    When the round-robin pointer lands on m itself the data goes
+    //    direct (the lucky 1/N case of uniform spreading).
+    // Congestion control: no spreading into a full intermediate buffer —
+    // the slot idles until m drains (pure VLB waits for credit; there is
+    // no adaptive fall-back to direct transmission in the baseline).
+    const bool room =
+        last_occupancy_[static_cast<std::size_t>(s) * n + m] <
+        config_.oblivious.relay_queue_capacity;
+    if (!room) continue;
+    const TorId d = next_spread_dst(s, kInvalidTor);
+    if (d == kInvalidTor) continue;
+    if (d == m) {
+      if (auto pkt = tor.dequeue_packet(m, payload)) {
+        flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes, arrival,
+                           fct_);
+        goodput_.record_delivery(m, pkt->bytes, arrival);
       }
-      if (auto pkt = tor.dequeue_packet(d, payload)) {
-        goodput_.record_relay_reception(m, pkt->bytes, arrival);
-        const FlowId flow = pkt->flow;
-        const Bytes bytes = pkt->bytes;
-        sim_.events().schedule(arrival,
-                               [this, m, d, flow, bytes](Nanos when) {
-                                 relay_[static_cast<std::size_t>(m)].enqueue(
-                                     d, flow, bytes, when);
-                               });
-      }
+      continue;
+    }
+    if (auto pkt = tor.dequeue_packet(d, payload)) {
+      goodput_.record_relay_reception(m, pkt->bytes, arrival);
+      sim_.events().schedule_relay_handoff(
+          arrival, RelayHandoffEvent{m, d, pkt->flow, pkt->bytes});
     }
   }
 }

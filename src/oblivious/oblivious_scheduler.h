@@ -28,7 +28,7 @@
 
 namespace negotiator {
 
-class ObliviousFabric final : public FabricSim {
+class ObliviousFabric final : public FabricSim, private EventSink {
  public:
   explicit ObliviousFabric(const NetworkConfig& config,
                            Nanos stats_window_ns = 0);
@@ -41,12 +41,20 @@ class ObliviousFabric final : public FabricSim {
   LinkState& links() override { return links_; }
   const NetworkConfig& config() const override { return config_; }
   Bytes total_backlog() const override;
+  std::uint64_t events_executed() const override {
+    return sim_.events().executed();
+  }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
 
   Nanos cycle_length_ns() const { return rotor_.cycle_length_ns(); }
 
  private:
+  // EventSink: typed events scheduled on the simulation clock.
+  void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override;
+  void on_link_toggle(const LinkToggleEvent& e, Nanos now) override;
+  void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
+
   void run_slot(std::int64_t global_slot);
   /// Next backlogged destination after the spread pointer, skipping
   /// `exclude`; kInvalidTor when none.
@@ -67,6 +75,20 @@ class ObliviousFabric final : public FabricSim {
   /// last advertised to the observer over an incoming connection.
   std::vector<Bytes> last_occupancy_;
   std::vector<TorId> spread_ptr_;
+
+  /// Rotor connectivity is a fixed cycle (rotation never changes), so the
+  /// whole (slot-in-cycle, src, port) -> (dst, rx, link indices) table is
+  /// resolved once at construction; run_slot iterates flat records.
+  struct SlotConn {
+    TorId src;
+    PortId tx;
+    TorId dst;
+    PortId rx;
+    std::uint32_t tx_link;  // LinkState raw index, egress
+    std::uint32_t rx_link;  // LinkState raw index, ingress
+  };
+  std::vector<SlotConn> slot_conns_;         // grouped by slot-in-cycle
+  std::vector<std::int32_t> slot_conn_begin_;  // cycle_slots + 1 offsets
 };
 
 }  // namespace negotiator

@@ -1,34 +1,185 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace negotiator {
 
+void EventQueue::push_heap_entry(Entry&& e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(
+      heap_.begin(), heap_.end(),
+      [](const Entry& a, const Entry& b) { return heap_later(a, b); });
+}
+
+EventQueue::Entry EventQueue::pop_heap_entry() {
+  std::pop_heap(
+      heap_.begin(), heap_.end(),
+      [](const Entry& a, const Entry& b) { return heap_later(a, b); });
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
 void EventQueue::schedule(Nanos when, Callback cb) {
   NEG_ASSERT(when >= 0, "event time must be non-negative");
-  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kCallback;
+  e.cb = std::move(cb);
+  push_heap_entry(std::move(e));
+}
+
+void EventQueue::schedule_flow_arrival(Nanos when, std::int32_t flow_index) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  Payload payload;
+  payload.flow = FlowArrivalEvent{flow_index};
+  if (arrivals_.accepts(when)) {
+    arrivals_.append(when, next_seq_++, payload);
+    return;
+  }
+  // Out-of-order arrival: fall back to a heap entry. Ordering is unchanged
+  // because pops merge every tier by (when, seq).
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kFlowArrival;
+  e.payload = payload;
+  push_heap_entry(std::move(e));
+}
+
+void EventQueue::schedule_link_toggle(Nanos when, const LinkToggleEvent& ev) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kLinkToggle;
+  e.payload.link = ev;
+  push_heap_entry(std::move(e));
+}
+
+void EventQueue::schedule_relay_handoff(Nanos when,
+                                        const RelayHandoffEvent& ev) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  Payload payload;
+  payload.relay = ev;
+  if (handoffs_.accepts(when)) {
+    handoffs_.append(when, next_seq_++, payload);
+    return;
+  }
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kRelayHandoff;
+  e.payload = payload;
+  push_heap_entry(std::move(e));
+}
+
+EventQueue::Stream* EventQueue::earliest_stream() {
+  // Requires !empty(). Merge the three tiers by (when, seq); seq values
+  // are globally unique, so the comparison is a strict total order.
+  Stream* best = nullptr;
+  Nanos when = 0;
+  std::uint64_t seq = 0;
+  if (!heap_.empty()) {
+    when = heap_.front().when;
+    seq = heap_.front().seq;
+  }
+  for (Stream* s : {&arrivals_, &handoffs_}) {
+    if (s->drained()) continue;
+    const Stream::Item& it = s->front();
+    if (best == nullptr && heap_.empty()) {
+      best = s;
+      when = it.when;
+      seq = it.seq;
+      continue;
+    }
+    if (it.when < when || (it.when == when && it.seq < seq)) {
+      best = s;
+      when = it.when;
+      seq = it.seq;
+    }
+  }
+  return best;
 }
 
 Nanos EventQueue::next_time() const {
-  return heap_.empty() ? kNeverNs : heap_.top().when;
+  if (empty()) return kNeverNs;
+  Nanos best = kNeverNs;
+  if (!heap_.empty()) best = heap_.front().when;
+  if (!arrivals_.drained()) best = std::min(best, arrivals_.front().when);
+  if (!handoffs_.drained()) best = std::min(best, handoffs_.front().when);
+  return best;
+}
+
+void EventQueue::dispatch(const Entry& e) {
+  ++executed_;
+  switch (e.kind) {
+    case Kind::kCallback:
+      e.cb(e.when);
+      break;
+    case Kind::kFlowArrival:
+      NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+      sink_->on_flow_arrival(e.payload.flow, e.when);
+      break;
+    case Kind::kLinkToggle:
+      NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+      sink_->on_link_toggle(e.payload.link, e.when);
+      break;
+    case Kind::kRelayHandoff:
+      NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+      sink_->on_relay_handoff(e.payload.relay, e.when);
+      break;
+  }
+}
+
+void EventQueue::run_stream_head(Stream* s) {
+  // Copy out before advancing: the sink may schedule new events, which
+  // can recycle the stream storage when this was the last entry.
+  const Stream::Item item = s->front();
+  const bool is_arrival = s == &arrivals_;
+  ++s->head;
+  ++executed_;
+  NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+  if (is_arrival) {
+    sink_->on_flow_arrival(item.payload.flow, item.when);
+  } else {
+    sink_->on_relay_handoff(item.payload.relay, item.when);
+  }
 }
 
 void EventQueue::run_next() {
-  NEG_ASSERT(!heap_.empty(), "run_next on empty queue");
-  // Copy out before pop: the callback may schedule new events.
-  Entry e = heap_.top();
-  heap_.pop();
-  e.cb(e.when);
+  NEG_ASSERT(!empty(), "run_next on empty queue");
+  if (Stream* s = earliest_stream()) {
+    run_stream_head(s);
+    return;
+  }
+  // Entry is moved out before dispatch: the callback may schedule events.
+  const Entry e = pop_heap_entry();
+  dispatch(e);
 }
 
 void EventQueue::run_until(Nanos until) {
-  while (!heap_.empty() && heap_.top().when <= until) run_next();
+  // One tier-merge comparison per event (not next_time() + run_next()).
+  while (!empty()) {
+    if (Stream* s = earliest_stream()) {
+      if (s->front().when > until) return;
+      run_stream_head(s);
+    } else {
+      if (heap_.front().when > until) return;
+      const Entry e = pop_heap_entry();
+      dispatch(e);
+    }
+  }
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
+  arrivals_.clear();
+  handoffs_.clear();
 }
 
 }  // namespace negotiator

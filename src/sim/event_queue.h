@@ -1,28 +1,90 @@
-// A deterministic discrete-event queue.
+// A deterministic discrete-event queue, engineered for the hot path.
 //
-// Events scheduled for the same timestamp fire in insertion order (FIFO tie
-// break via a monotonically increasing sequence number), which keeps runs
-// reproducible regardless of heap internals.
+// Ordering contract: events fire in (timestamp, schedule order). Events
+// scheduled for the same timestamp fire in insertion order (FIFO tie break
+// via a monotonically increasing sequence number shared by every schedule_*
+// entry point), which keeps runs reproducible regardless of heap internals.
+//
+// Two storage tiers back that contract without a heap allocation per event:
+//
+//  - Typed entries (flow arrival, link toggle, relay handoff) are plain
+//    tagged-union payloads dispatched to an EventSink — no std::function,
+//    no per-event heap traffic. The legacy `Callback` API remains as a thin
+//    compatibility shim for tests and ad-hoc tooling.
+//  - Flow arrivals are almost always scheduled in non-decreasing time order
+//    (workload generators emit sorted traces), and relay handoffs are
+//    scheduled at the current slot's arrival instant, which only moves
+//    forward. Each takes a fast path: an append-only pre-sorted stream
+//    consumed by a cursor. Millions of add_flow / relay events never touch
+//    the binary heap; an out-of-order entry silently falls back to a heap
+//    entry. The merged pop compares (timestamp, seq) across all tiers, so
+//    observable order is identical to a single heap.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
 
 namespace negotiator {
 
+/// A flow (by dense FlowTable index) reaching its source ToR.
+struct FlowArrivalEvent {
+  std::int32_t flow_index;
+};
+
+/// A directed link failing (fail=true) or recovering.
+struct LinkToggleEvent {
+  TorId tor;
+  PortId port;
+  LinkDirection dir;
+  bool fail;
+};
+
+/// A first-hop relay chunk landing in an intermediate ToR's relay queue.
+struct RelayHandoffEvent {
+  TorId intermediate;
+  TorId final_dst;
+  FlowId flow;
+  Bytes bytes;
+};
+
+/// Receiver of typed events; implemented by the fabric engines.
+class EventSink {
+ public:
+  virtual void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) = 0;
+  virtual void on_link_toggle(const LinkToggleEvent& e, Nanos now) = 0;
+  virtual void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) = 0;
+
+ protected:
+  ~EventSink() = default;
+};
+
 class EventQueue {
  public:
   using Callback = std::function<void(Nanos now)>;
 
-  /// Schedules `cb` to run at absolute time `when` (>= current head time).
+  /// Registers the receiver of typed events. Must be set before the first
+  /// typed event fires; callback-only usage needs no sink.
+  void set_sink(EventSink* sink) { sink_ = sink; }
+
+  /// Schedules `cb` to run at absolute time `when` (compatibility shim —
+  /// allocates for the closure like any std::function).
   void schedule(Nanos when, Callback cb);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Typed, allocation-free scheduling. Flow arrivals and relay handoffs
+  /// in non-decreasing time order take a pre-sorted stream fast path.
+  void schedule_flow_arrival(Nanos when, std::int32_t flow_index);
+  void schedule_link_toggle(Nanos when, const LinkToggleEvent& e);
+  void schedule_relay_handoff(Nanos when, const RelayHandoffEvent& e);
+
+  bool empty() const {
+    return heap_.empty() && arrivals_.drained() && handoffs_.drained();
+  }
+  std::size_t size() const {
+    return heap_.size() + arrivals_.pending() + handoffs_.pending();
+  }
 
   /// Timestamp of the earliest pending event; kNeverNs when empty.
   Nanos next_time() const;
@@ -36,20 +98,86 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
+  /// Events executed so far (perf accounting).
+  std::uint64_t executed() const { return executed_; }
+
  private:
+  enum class Kind : std::uint8_t {
+    kCallback,
+    kFlowArrival,
+    kLinkToggle,
+    kRelayHandoff,
+  };
+
+  union Payload {
+    FlowArrivalEvent flow;
+    LinkToggleEvent link;
+    RelayHandoffEvent relay;
+    Payload() : flow{0} {}
+  };
+
   struct Entry {
     Nanos when;
     std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    Kind kind;
+    Payload payload;
+    Callback cb;  // engaged only for kCallback
+
+    /// Heap priority: *lowest* (when, seq) on top under std::push_heap's
+    /// max-heap convention, hence the inverted comparison.
+    friend bool heap_later(const Entry& a, const Entry& b) {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+  /// One append-only pre-sorted tier: POD entries, cursor consumption.
+  struct Stream {
+    struct Item {
+      Nanos when;
+      std::uint64_t seq;
+      Payload payload;
+    };
+    std::vector<Item> items;
+    std::size_t head{0};
+
+    bool drained() const { return head == items.size(); }
+    std::size_t pending() const { return items.size() - head; }
+    const Item& front() const { return items[head]; }
+    /// True when `when` keeps the tier sorted if appended (a drained tier
+    /// recycles its storage, so it accepts anything).
+    bool accepts(Nanos when) const {
+      return drained() || when >= items.back().when;
+    }
+    void append(Nanos when, std::uint64_t seq, const Payload& payload) {
+      if (drained()) {  // fully consumed: recycle the storage
+        items.clear();
+        head = 0;
+      }
+      items.push_back(Item{when, seq, payload});
+    }
+    void clear() {
+      items.clear();
+      head = 0;
+    }
+  };
+
+  void push_heap_entry(Entry&& e);
+  Entry pop_heap_entry();
+  void dispatch(const Entry& e);
+  /// Consumes and dispatches the head of `s` (one of the two streams).
+  void run_stream_head(Stream* s);
+
+  /// The stream holding the globally earliest (when, seq) event, or
+  /// nullptr when the heap top precedes both stream heads.
+  Stream* earliest_stream();
+
+  std::vector<Entry> heap_;  // binary heap ordered by heap_later
+  Stream arrivals_;          // flow arrivals (pre-sorted workload traces)
+  Stream handoffs_;          // relay handoffs (slot times only move forward)
   std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  EventSink* sink_{nullptr};
 };
 
 }  // namespace negotiator

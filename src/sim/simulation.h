@@ -14,6 +14,9 @@ class Simulation {
   EventQueue& events() { return events_; }
   const EventQueue& events() const { return events_; }
 
+  /// Registers the receiver of typed events (see EventSink).
+  void set_sink(EventSink* sink) { events_.set_sink(sink); }
+
   /// Schedules `cb` to run `delay` ns from now.
   void schedule_in(Nanos delay, EventQueue::Callback cb);
 

@@ -27,23 +27,6 @@ void GoodputMeter::bump_series(std::vector<Bytes>& series, Bytes bytes,
   series[w] += bytes;
 }
 
-void GoodputMeter::record_delivery(TorId dst, Bytes bytes, Nanos when) {
-  NEG_ASSERT(bytes >= 0, "negative delivery");
-  if (when >= measure_from_ && when < measure_to_) delivered_ += bytes;
-  if (window_ns_ > 0) {
-    bump_series(per_tor_windows_[static_cast<std::size_t>(dst)], bytes, when);
-  }
-}
-
-void GoodputMeter::record_relay_reception(TorId intermediate, Bytes bytes,
-                                          Nanos when) {
-  if (when >= measure_from_ && when < measure_to_) relay_ += bytes;
-  if (window_ns_ > 0) {
-    bump_series(per_tor_relay_windows_[static_cast<std::size_t>(intermediate)],
-                bytes, when);
-  }
-}
-
 double GoodputMeter::normalized_goodput(Rate host_rate) const {
   const Nanos to = measure_to_ == kNeverNs ? 0 : measure_to_;
   const Nanos duration = to - measure_from_;

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 #include "common/units.h"
 
@@ -15,10 +16,25 @@ class GoodputMeter {
   GoodputMeter(int num_tors, Nanos window_ns = 0);
 
   /// Final-destination delivery of `bytes` payload at `when` into `dst`.
-  void record_delivery(TorId dst, Bytes bytes, Nanos when);
+  /// Inline: the fabric calls this once per delivered packet.
+  void record_delivery(TorId dst, Bytes bytes, Nanos when) {
+    NEG_ASSERT(bytes >= 0, "negative delivery");
+    if (when >= measure_from_ && when < measure_to_) delivered_ += bytes;
+    if (window_ns_ > 0) {
+      bump_series(per_tor_windows_[static_cast<std::size_t>(dst)], bytes,
+                  when);
+    }
+  }
 
   /// First-hop (relay) reception at an intermediate ToR.
-  void record_relay_reception(TorId intermediate, Bytes bytes, Nanos when);
+  void record_relay_reception(TorId intermediate, Bytes bytes, Nanos when) {
+    if (when >= measure_from_ && when < measure_to_) relay_ += bytes;
+    if (window_ns_ > 0) {
+      bump_series(
+          per_tor_relay_windows_[static_cast<std::size_t>(intermediate)],
+          bytes, when);
+    }
+  }
 
   void set_measure_interval(Nanos from, Nanos to);
 

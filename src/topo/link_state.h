@@ -11,8 +11,6 @@
 
 namespace negotiator {
 
-enum class LinkDirection { kEgress, kIngress };
-
 class LinkState {
  public:
   LinkState(int num_tors, int ports_per_tor);
@@ -29,6 +27,18 @@ class LinkState {
   int total_links() const { return 2 * num_tors_ * ports_per_tor_; }
 
   void repair_all();
+
+  /// Raw-index fast path for precomputed hot loops: resolve the flat index
+  /// of a directed link once, then poll its health with a plain bit read.
+  std::size_t raw_index(TorId tor, PortId port, LinkDirection dir) const {
+    return (static_cast<std::size_t>(tor) * ports_per_tor_ + port) * 2 +
+           (dir == LinkDirection::kIngress ? 1 : 0);
+  }
+  bool up_raw(std::size_t raw) const { return up_[raw]; }
+
+  /// True when no link anywhere is down — lets hot loops skip per-link
+  /// health reads entirely in the common healthy-fabric case.
+  bool all_up() const { return failed_count_ == 0; }
 
  private:
   std::size_t index(TorId tor, PortId port, LinkDirection dir) const;

@@ -48,28 +48,6 @@ void DestQueue::requeue_front(const QueuedPacket& packet) {
   total_bytes_ += packet.bytes;
 }
 
-std::optional<QueuedPacket> DestQueue::dequeue_packet(Bytes max_payload) {
-  return dequeue_packet_at_least(max_payload, 0);
-}
-
-std::optional<QueuedPacket> DestQueue::dequeue_packet_at_least(
-    Bytes max_payload, int min_level) {
-  NEG_ASSERT(max_payload > 0, "packet payload must be positive");
-  for (int level = min_level; level < levels(); ++level) {
-    auto& q = levels_[static_cast<std::size_t>(level)];
-    if (q.empty()) continue;
-    Segment& head = q.front();
-    const Bytes take = std::min(head.remaining, max_payload);
-    QueuedPacket packet{head.flow, take, level, head.enqueued_at};
-    head.remaining -= take;
-    level_bytes_[static_cast<std::size_t>(level)] -= take;
-    total_bytes_ -= take;
-    if (head.remaining == 0) q.pop_front();
-    return packet;
-  }
-  return std::nullopt;
-}
-
 Bytes DestQueue::bytes_at_level(int level) const {
   NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
   return level_bytes_[static_cast<std::size_t>(level)];

@@ -5,10 +5,12 @@
 // level, which keeps per-pair data in order (§3.6.5).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/config.h"
 #include "common/types.h"
 #include "tor/pias.h"
@@ -39,12 +41,30 @@ class DestQueue {
 
   /// Draws at most `max_payload` bytes of a single flow from the
   /// highest-priority non-empty level. Empty queue -> nullopt.
-  std::optional<QueuedPacket> dequeue_packet(Bytes max_payload);
+  /// Inline: the fabric calls this once per transmitted packet.
+  std::optional<QueuedPacket> dequeue_packet(Bytes max_payload) {
+    return dequeue_packet_at_least(max_payload, 0);
+  }
 
   /// Same, but only from levels >= `min_level` (selective relay pulls only
   /// the lowest-priority elephant data, A.2.2).
   std::optional<QueuedPacket> dequeue_packet_at_least(Bytes max_payload,
-                                                      int min_level);
+                                                      int min_level) {
+    NEG_ASSERT(max_payload > 0, "packet payload must be positive");
+    for (int level = min_level; level < levels(); ++level) {
+      auto& q = levels_[static_cast<std::size_t>(level)];
+      if (q.empty()) continue;
+      Segment& head = q.front();
+      const Bytes take = std::min(head.remaining, max_payload);
+      QueuedPacket packet{head.flow, take, level, head.enqueued_at};
+      head.remaining -= take;
+      level_bytes_[static_cast<std::size_t>(level)] -= take;
+      total_bytes_ -= take;
+      if (head.remaining == 0) q.pop_front();
+      return packet;
+    }
+    return std::nullopt;
+  }
 
   bool empty() const { return total_bytes_ == 0; }
   Bytes total_bytes() const { return total_bytes_; }

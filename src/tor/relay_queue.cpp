@@ -40,8 +40,4 @@ std::optional<RelayChunk> RelayQueueSet::dequeue_packet(TorId final_dst,
   return out;
 }
 
-Bytes RelayQueueSet::bytes_for(TorId final_dst) const {
-  return queue_bytes_[static_cast<std::size_t>(final_dst)];
-}
-
 }  // namespace negotiator

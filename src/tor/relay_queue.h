@@ -27,7 +27,9 @@ class RelayQueueSet {
   /// At most `max_payload` bytes of one flow bound for `final_dst`.
   std::optional<RelayChunk> dequeue_packet(TorId final_dst, Bytes max_payload);
 
-  Bytes bytes_for(TorId final_dst) const;
+  Bytes bytes_for(TorId final_dst) const {
+    return queue_bytes_[static_cast<std::size_t>(final_dst)];
+  }
   Bytes total_bytes() const { return total_bytes_; }
   bool empty_for(TorId final_dst) const { return bytes_for(final_dst) == 0; }
 

@@ -5,7 +5,7 @@
 namespace negotiator {
 
 TorSwitch::TorSwitch(TorId id, int num_tors, const PiasConfig& pias)
-    : id_(id), pias_(pias) {
+    : id_(id), pias_(pias), active_(num_tors) {
   NEG_ASSERT(num_tors >= 2, "need >= 2 ToRs");
   NEG_ASSERT(id >= 0 && id < num_tors, "ToR id out of range");
   queues_.reserve(static_cast<std::size_t>(num_tors));
@@ -14,47 +14,27 @@ TorSwitch::TorSwitch(TorId id, int num_tors, const PiasConfig& pias)
   }
 }
 
-DestQueue& TorSwitch::queue_mut(TorId dst) {
-  NEG_ASSERT(dst >= 0 && dst < num_tors() && dst != id_, "bad destination");
-  return queues_[static_cast<std::size_t>(dst)];
-}
-
 const DestQueue& TorSwitch::queue_to(TorId dst) const {
   NEG_ASSERT(dst >= 0 && dst < num_tors(), "bad destination");
   return queues_[static_cast<std::size_t>(dst)];
 }
 
-void TorSwitch::note_queue_change(TorId dst) {
-  const DestQueue& q = queues_[static_cast<std::size_t>(dst)];
-  if (q.empty()) {
-    active_.erase(dst);
-  } else {
-    active_.insert(dst);
-  }
-}
-
 void TorSwitch::accept_flow(const Flow& flow, Nanos now) {
   NEG_ASSERT(flow.src == id_, "flow does not originate here");
-  queue_mut(flow.dst).enqueue_flow(flow.id, flow.size, now, pias_);
+  DestQueue& q = queue_mut(flow.dst);
+  const bool was_empty = q.empty();
+  q.enqueue_flow(flow.id, flow.size, now, pias_);
   total_pending_ += flow.size;
-  note_queue_change(flow.dst);
+  note_enqueued(flow.dst, was_empty);
 }
 
 void TorSwitch::enqueue_bytes(TorId dst, FlowId flow, Bytes bytes, Nanos now,
                               int level) {
-  queue_mut(dst).enqueue_bytes(flow, bytes, now, level);
+  DestQueue& q = queue_mut(dst);
+  const bool was_empty = q.empty();
+  q.enqueue_bytes(flow, bytes, now, level);
   total_pending_ += bytes;
-  note_queue_change(dst);
-}
-
-std::optional<QueuedPacket> TorSwitch::dequeue_packet(TorId dst,
-                                                      Bytes max_payload) {
-  auto packet = queue_mut(dst).dequeue_packet(max_payload);
-  if (packet) {
-    total_pending_ -= packet->bytes;
-    note_queue_change(dst);
-  }
-  return packet;
+  note_enqueued(dst, was_empty);
 }
 
 std::optional<QueuedPacket> TorSwitch::dequeue_elephant_packet(
@@ -63,19 +43,17 @@ std::optional<QueuedPacket> TorSwitch::dequeue_elephant_packet(
   auto packet = q.dequeue_packet_at_least(max_payload, q.levels() - 1);
   if (packet) {
     total_pending_ -= packet->bytes;
-    note_queue_change(dst);
+    note_dequeued(dst);
   }
   return packet;
 }
 
 void TorSwitch::requeue_front(TorId dst, const QueuedPacket& packet) {
-  queue_mut(dst).requeue_front(packet);
+  DestQueue& q = queue_mut(dst);
+  const bool was_empty = q.empty();
+  q.requeue_front(packet);
   total_pending_ += packet.bytes;
-  note_queue_change(dst);
-}
-
-Bytes TorSwitch::pending_to(TorId dst) const {
-  return queues_[static_cast<std::size_t>(dst)].total_bytes();
+  note_enqueued(dst, was_empty);
 }
 
 }  // namespace negotiator

@@ -4,9 +4,9 @@
 #pragma once
 
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/active_set.h"
 #include "common/config.h"
 #include "common/types.h"
 #include "tor/dest_queue.h"
@@ -28,8 +28,16 @@ class TorSwitch {
   void enqueue_bytes(TorId dst, FlowId flow, Bytes bytes, Nanos now,
                      int level);
 
-  /// Draws one packet bound for `dst` (highest priority first).
-  std::optional<QueuedPacket> dequeue_packet(TorId dst, Bytes max_payload);
+  /// Draws one packet bound for `dst` (highest priority first). Inline:
+  /// called once per transmitted packet.
+  std::optional<QueuedPacket> dequeue_packet(TorId dst, Bytes max_payload) {
+    auto packet = queue_mut(dst).dequeue_packet(max_payload);
+    if (packet) {
+      total_pending_ -= packet->bytes;
+      note_dequeued(dst);
+    }
+    return packet;
+  }
 
   /// Draws one packet of only the lowest-priority data (selective relay).
   std::optional<QueuedPacket> dequeue_elephant_packet(TorId dst,
@@ -38,24 +46,36 @@ class TorSwitch {
   /// Puts a packet back at the head of its queue (failed transmission).
   void requeue_front(TorId dst, const QueuedPacket& packet);
 
-  Bytes pending_to(TorId dst) const;
+  Bytes pending_to(TorId dst) const {
+    return queues_[static_cast<std::size_t>(dst)].total_bytes();
+  }
   const DestQueue& queue_to(TorId dst) const;
   Bytes total_pending() const { return total_pending_; }
 
-  /// Destinations with pending data, ascending. Cheap to iterate; kept in
-  /// sync by the enqueue/dequeue paths.
-  const std::set<TorId>& active_destinations() const { return active_; }
+  /// Destinations with pending data, ascending. Cheap to iterate; only
+  /// mutated when a queue flips between empty and non-empty.
+  const ActiveSet& active_destinations() const { return active_; }
 
   const PiasConfig& pias() const { return pias_; }
 
  private:
-  DestQueue& queue_mut(TorId dst);
-  void note_queue_change(TorId dst);
+  DestQueue& queue_mut(TorId dst) {
+    NEG_ASSERT(dst >= 0 && dst < num_tors() && dst != id_, "bad destination");
+    return queues_[static_cast<std::size_t>(dst)];
+  }
+  /// Enqueue-side active tracking: activates `dst` iff its queue was empty
+  /// before the enqueue. The dequeue paths deactivate on drain.
+  void note_enqueued(TorId dst, bool was_empty) {
+    if (was_empty) active_.insert(dst);
+  }
+  void note_dequeued(TorId dst) {
+    if (queues_[static_cast<std::size_t>(dst)].empty()) active_.erase(dst);
+  }
 
   TorId id_;
   PiasConfig pias_;
   std::vector<DestQueue> queues_;
-  std::set<TorId> active_;
+  ActiveSet active_;
   Bytes total_pending_{0};
 };
 

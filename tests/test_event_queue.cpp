@@ -2,12 +2,39 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/simulation.h"
 
 namespace negotiator {
 namespace {
+
+/// Records every typed event as (tag, when) so tests can assert the exact
+/// global firing order across the queue's tiers.
+class RecordingSink : public EventSink {
+ public:
+  struct Fired {
+    char kind;  // 'f'low, 'l'ink, 'r'elay
+    std::int64_t tag;
+    Nanos when;
+  };
+
+  void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override {
+    fired.push_back(Fired{'f', e.flow_index, now});
+  }
+  void on_link_toggle(const LinkToggleEvent& e, Nanos now) override {
+    fired.push_back(Fired{'l', e.tor, now});
+  }
+  void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override {
+    fired.push_back(Fired{'r', e.flow, now});
+  }
+
+  std::vector<Fired> fired;
+};
 
 TEST(EventQueue, EmptyByDefault) {
   EventQueue q;
@@ -72,6 +99,159 @@ TEST(EventQueue, ClearDropsEverything) {
   q.run_until(100);
   EXPECT_EQ(fired, 0);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TypedEventsCarryTheirPayloads) {
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  q.schedule_flow_arrival(10, 7);
+  q.schedule_link_toggle(20, LinkToggleEvent{3, 1, LinkDirection::kEgress,
+                                             true});
+  q.schedule_relay_handoff(30, RelayHandoffEvent{5, 6, 42, 1'000});
+  q.run_until(100);
+  ASSERT_EQ(sink.fired.size(), 3u);
+  EXPECT_EQ(sink.fired[0].kind, 'f');
+  EXPECT_EQ(sink.fired[0].tag, 7);
+  EXPECT_EQ(sink.fired[1].kind, 'l');
+  EXPECT_EQ(sink.fired[1].tag, 3);
+  EXPECT_EQ(sink.fired[2].kind, 'r');
+  EXPECT_EQ(sink.fired[2].tag, 42);
+}
+
+TEST(EventQueue, TypedAndCallbackEventsShareTheFifoTieBreak) {
+  // Ties at the same timestamp fire in schedule order no matter which tier
+  // (arrival stream, handoff stream, heap) carries the event.
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  std::vector<std::int64_t> order;
+  q.schedule_flow_arrival(5, 100);
+  q.schedule(5, [&](Nanos) { order.push_back(101); });
+  q.schedule_relay_handoff(5, RelayHandoffEvent{0, 1, 102, 10});
+  q.schedule_flow_arrival(5, 103);
+  q.schedule_link_toggle(5, LinkToggleEvent{104, 0, LinkDirection::kIngress,
+                                            false});
+  // Interleave the sink records and the callback into one sequence.
+  std::vector<std::int64_t> got;
+  std::size_t sink_read = 0;
+  while (!q.empty()) {
+    const std::size_t before = sink.fired.size();
+    const std::size_t cb_before = order.size();
+    q.run_next();
+    if (sink.fired.size() > before) {
+      got.push_back(sink.fired[sink_read++].tag);
+    } else if (order.size() > cb_before) {
+      got.push_back(order.back());
+    }
+  }
+  EXPECT_EQ(got, (std::vector<std::int64_t>{100, 101, 102, 103, 104}));
+}
+
+TEST(EventQueue, OutOfOrderArrivalsFallBackWithoutReordering) {
+  // An arrival scheduled before the stream tail must still fire in global
+  // (time, schedule-order) position.
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  q.schedule_flow_arrival(50, 1);
+  q.schedule_flow_arrival(10, 2);  // out of order -> heap fallback
+  q.schedule_flow_arrival(50, 3);
+  q.schedule_flow_arrival(10, 4);  // also out of order, ties with #2
+  q.run_until(100);
+  ASSERT_EQ(sink.fired.size(), 4u);
+  EXPECT_EQ(sink.fired[0].tag, 2);
+  EXPECT_EQ(sink.fired[1].tag, 4);
+  EXPECT_EQ(sink.fired[2].tag, 1);
+  EXPECT_EQ(sink.fired[3].tag, 3);
+}
+
+TEST(EventQueue, DeterminismPropertyRandomizedMixedSchedule) {
+  // Property: however events are scheduled — pre-run or from inside a
+  // running event, typed or callback, tied or not — the firing order is
+  // exactly the (timestamp, schedule order) sort. The reference order is
+  // tracked with a monotonically increasing schedule counter.
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    RecordingSink sink;
+    q.set_sink(&sink);
+    std::vector<std::pair<Nanos, std::int64_t>> expected;  // (when, sched#)
+    std::vector<std::int64_t> cb_fired;
+    std::int64_t sched = 0;
+
+    auto schedule_one = [&](Nanos when) {
+      const std::int64_t id = sched++;
+      switch (rng.next_below(3)) {
+        case 0:
+          q.schedule_flow_arrival(when, static_cast<std::int32_t>(id));
+          break;
+        case 1:
+          q.schedule_relay_handoff(when, RelayHandoffEvent{0, 1, id, 1});
+          break;
+        default:
+          q.schedule(when, [&cb_fired, id](Nanos) { cb_fired.push_back(id); });
+          break;
+      }
+      expected.emplace_back(when, id);
+    };
+
+    // Pre-run: a mix of sorted and random timestamps with heavy ties.
+    Nanos cursor = 0;
+    for (int i = 0; i < 120; ++i) {
+      if (rng.next_below(2) == 0) {
+        cursor += rng.next_below(3);  // mostly non-decreasing, many ties
+        schedule_one(cursor);
+      } else {
+        schedule_one(rng.next_below(200));
+      }
+    }
+
+    // During-run: every 7th event schedules 0-2 future events.
+    std::vector<std::int64_t> got;
+    std::int64_t processed = 0;
+    while (!q.empty()) {
+      const Nanos now = q.next_time();
+      const std::size_t sink_before = sink.fired.size();
+      const std::size_t cb_before = cb_fired.size();
+      q.run_next();
+      if (sink.fired.size() > sink_before) {
+        got.push_back(sink.fired.back().tag);
+      } else {
+        ASSERT_GT(cb_fired.size(), cb_before);
+        got.push_back(cb_fired.back());
+      }
+      if (++processed % 7 == 0) {
+        const std::int64_t extra = rng.next_below(3);
+        for (std::int64_t e = 0; e < extra; ++e) {
+          schedule_one(now + rng.next_below(4));  // may tie with pending
+        }
+      }
+    }
+
+    // Reference: stable sort by timestamp == sort by (when, sched#).
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    ASSERT_EQ(got.size(), expected.size()) << "round " << round;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i].second)
+          << "round " << round << " position " << i;
+    }
+  }
+}
+
+TEST(EventQueue, ExecutedCounterCountsEveryTier) {
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  q.schedule_flow_arrival(1, 1);
+  q.schedule_relay_handoff(2, RelayHandoffEvent{0, 1, 2, 1});
+  q.schedule(3, [](Nanos) {});
+  EXPECT_EQ(q.executed(), 0u);
+  q.run_until(10);
+  EXPECT_EQ(q.executed(), 3u);
 }
 
 TEST(Simulation, AdvancesClockAndFiresEvents) {

@@ -151,7 +151,8 @@ TEST(MatchingAccept, ThinClosPinsTxPort) {
   GrantMsg g;
   g.dst = 9;  // block 2
   g.rx_port = 0;
-  const auto result = eng.accept(1, {g}, all_true(4));
+  const std::vector<GrantMsg> grants{g};
+  const auto result = eng.accept(1, grants, all_true(4));
   ASSERT_EQ(result.matches.size(), 1u);
   EXPECT_EQ(result.matches[0].tx_port, 2);
 }
@@ -164,7 +165,8 @@ TEST(MatchingAccept, RespectsTxEligibility) {
   g.dst = 1;
   g.rx_port = 2;
   std::vector<bool> eligible{true, true, false, true};
-  EXPECT_TRUE(eng.accept(0, {g}, eligible).matches.empty());
+  const std::vector<GrantMsg> grants{g};
+  EXPECT_TRUE(eng.accept(0, grants, eligible).matches.empty());
 }
 
 TEST(MatchingPolicy, LargestSizeWinsPorts) {

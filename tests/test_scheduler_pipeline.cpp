@@ -43,14 +43,14 @@ class FakeDemand : public DemandView {
   std::vector<TorId> relay_active_destinations(TorId) const override {
     return {};
   }
-  const std::set<TorId>& active_destinations(TorId s) const override {
+  const ActiveSet& active_destinations(TorId s) const override {
     return active_[static_cast<std::size_t>(s)];
   }
 
  private:
   int n_;
   std::vector<Bytes> pending_;
-  std::vector<std::set<TorId>> active_;
+  std::vector<ActiveSet> active_;
 };
 
 struct Harness {

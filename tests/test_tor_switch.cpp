@@ -91,5 +91,31 @@ TEST(TorSwitch, TotalPendingConserved) {
   EXPECT_TRUE(tor.active_destinations().empty());
 }
 
+TEST(ActiveSet, SortedViewAndMembership) {
+  ActiveSet set(8);
+  set.insert(5);
+  set.insert(2);
+  set.insert(7);
+  set.insert(2);  // duplicate is a no-op
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+  std::vector<TorId> seen(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<TorId>{2, 5, 7}));
+  set.erase(5);
+  EXPECT_FALSE(set.contains(5));
+  seen.assign(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<TorId>{2, 7}));
+}
+
+TEST(ActiveSet, UpperBoundWrapsLikeStdSet) {
+  ActiveSet set(16);
+  for (TorId t : {3, 8, 12}) set.insert(t);
+  EXPECT_EQ(*set.upper_bound(3), 8);
+  EXPECT_EQ(*set.upper_bound(0), 3);
+  EXPECT_EQ(set.upper_bound(12), set.end());
+  EXPECT_EQ(set.upper_bound(15), set.end());
+}
+
 }  // namespace
 }  // namespace negotiator
