@@ -15,22 +15,36 @@ int main() {
   const Nanos duration = bench_duration(4.0);
   const auto sizes = SizeDistribution::hadoop();
 
+  const struct {
+    const char* name;
+    SchedulerKind kind;
+  } systems[] = {
+      {"negotiator (distributed)", SchedulerKind::kNegotiator},
+      {"centralized controller", SchedulerKind::kCentralized},
+  };
+  std::vector<SweepPoint> points;
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    for (const auto& sys : systems) {
+      const NetworkConfig cfg = paper_config(topo, sys.kind);
+      for (double load : kLoads) {
+        points.push_back(standard_point(cfg, sizes, load, duration, 23,
+                                        std::string(sys.name) + " " +
+                                            to_string(topo) + " @" +
+                                            fmt(load, 2)));
+      }
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
+  std::size_t next = 0;
   for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
     std::printf("\n-- %s --\n", to_string(topo));
     ConsoleTable table({"system", "10%", "25%", "50%", "75%", "100%"});
-    const struct {
-      const char* name;
-      SchedulerKind kind;
-    } systems[] = {
-        {"negotiator (distributed)", SchedulerKind::kNegotiator},
-        {"centralized controller", SchedulerKind::kCentralized},
-    };
     for (const auto& sys : systems) {
-      const NetworkConfig cfg = paper_config(topo, sys.kind);
       std::vector<std::string> row{sys.name};
       for (double load : kLoads) {
-        const auto flows = load_workload(cfg, sizes, load, duration, 23);
-        const RunResult r = measure(cfg, flows, duration);
+        (void)load;
+        const RunResult& r = outcomes[next++].result;
         row.push_back(fmt(r.mice.p99_ns / 1e3, 1) + "/" + fmt(r.goodput, 3));
       }
       table.add_row(row);

@@ -4,15 +4,25 @@
 // paper's evaluation (§4). Simulated durations default to a few ms (the
 // paper uses 30 ms); the `NEG_DURATION_MS` environment variable scales them
 // up for higher-fidelity runs. Shapes are stable at the defaults.
+//
+// Execution model: a bench declares its whole grid as SweepPoints, hands
+// it to run_sweep() (multi-core; NEG_BENCH_THREADS workers, default
+// hardware concurrency), and formats the merged, submission-ordered
+// outcomes. Every point carries its own seeds, so output is byte-identical
+// at any thread count — all printing happens on the main thread after the
+// sweep.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
 #include "engine/runner.h"
+#include "engine/sweep.h"
 #include "workload/generator.h"
 #include "workload/size_distribution.h"
 
@@ -56,6 +66,53 @@ inline RunResult measure(const NetworkConfig& cfg,
   Runner runner(cfg);
   runner.add_flows(flows);
   return runner.run(duration, duration / 2);
+}
+
+/// Declares the standard measurement as a sweep point: `load_workload()`
+/// seeded with `seed`, then `measure()` over the second half of `duration`.
+inline SweepPoint standard_point(const NetworkConfig& cfg,
+                                 const SizeDistribution& sizes, double load,
+                                 Nanos duration, std::uint64_t seed,
+                                 std::string label = {}) {
+  SweepPoint p;
+  p.config = cfg;
+  p.sizes = sizes;
+  p.load = load;
+  p.duration = duration;
+  p.measure_from = duration / 2;
+  p.seed = seed;
+  p.label = std::move(label);
+  return p;
+}
+
+/// Declares a fully custom measurement. The body runs on a worker thread:
+/// it must build all mutable state (Runner, Rng, ...) locally and only
+/// return data — never print.
+inline SweepPoint custom_point(
+    std::function<SweepOutcome(const SweepPoint&)> body,
+    std::string label = {}) {
+  SweepPoint p;
+  p.body = std::move(body);
+  p.label = std::move(label);
+  return p;
+}
+
+/// Runs the declared grid across NEG_BENCH_THREADS workers (default:
+/// hardware concurrency) and returns outcomes in submission order. A
+/// failed point aborts the bench loudly — partial tables would be worse
+/// than no tables.
+inline std::vector<SweepOutcome> run_sweep(
+    const std::vector<SweepPoint>& points) {
+  auto outcomes = SweepEngine().run(points);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::fprintf(stderr, "sweep point %zu (%s) failed: %s\n", i,
+                   points[i].label.empty() ? "?" : points[i].label.c_str(),
+                   outcomes[i].error.c_str());
+      std::exit(1);
+    }
+  }
+  return outcomes;
 }
 
 inline std::string fmt(double v, int precision = 2) {

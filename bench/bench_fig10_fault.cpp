@@ -34,41 +34,56 @@ int main() {
   const NetworkConfig base =
       paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
 
+  std::vector<SweepPoint> points;
+  for (double ratio : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10}) {
+    points.push_back(custom_point(
+        [base, phase, ratio](const SweepPoint&) {
+          Runner runner(base, /*stats_window=*/100 * kMicro);
+          // Saturating all-pairs backlog so bandwidth usage is limited by
+          // links, not demand.
+          FlowId id = 0;
+          for (TorId s = 0; s < base.num_tors; ++s) {
+            for (TorId d = 0; d < base.num_tors; ++d) {
+              if (s == d) continue;
+              Flow f;
+              f.id = id++;
+              f.src = s;
+              f.dst = d;
+              f.size = 1'000'000'000;  // effectively infinite
+              f.arrival = 0;
+              runner.fabric().add_flow(f);
+            }
+          }
+          Rng rng(static_cast<std::uint64_t>(ratio * 1000));
+          const Nanos fail_at = phase;
+          const Nanos repair_at = 2 * phase;
+          const Nanos end = 3 * phase;
+          inject_random_failures(runner.fabric(), ratio, fail_at, repair_at,
+                                 rng);
+          runner.fabric().goodput().set_measure_interval(0, end);
+          runner.fabric().run_until(end);
+          const auto& g = runner.fabric().goodput();
+          // Skip the first third of each phase (ramp / detection
+          // transients).
+          const double pre = window_sum(g, base.num_tors, phase / 3, phase);
+          const double during =
+              window_sum(g, base.num_tors, fail_at + phase / 3, repair_at);
+          const double post =
+              window_sum(g, base.num_tors, repair_at + phase / 3, end);
+          SweepOutcome out;
+          out.metrics = {during / pre, post / pre};
+          return out;
+        },
+        "ratio " + fmt(ratio, 2)));
+  }
+  const auto outcomes = run_sweep(points);
+
   ConsoleTable table({"failure ratio", "BWpost_fail/BWpre_fail",
                       "BWpost_recov/BWpre_fail"});
+  std::size_t next = 0;
   for (double ratio : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10}) {
-    Runner runner(base, /*stats_window=*/100 * kMicro);
-    // Saturating all-pairs backlog so bandwidth usage is limited by links,
-    // not demand.
-    FlowId id = 0;
-    for (TorId s = 0; s < base.num_tors; ++s) {
-      for (TorId d = 0; d < base.num_tors; ++d) {
-        if (s == d) continue;
-        Flow f;
-        f.id = id++;
-        f.src = s;
-        f.dst = d;
-        f.size = 1'000'000'000;  // effectively infinite
-        f.arrival = 0;
-        runner.fabric().add_flow(f);
-      }
-    }
-    Rng rng(static_cast<std::uint64_t>(ratio * 1000));
-    const Nanos fail_at = phase;
-    const Nanos repair_at = 2 * phase;
-    const Nanos end = 3 * phase;
-    inject_random_failures(runner.fabric(), ratio, fail_at, repair_at, rng);
-    runner.fabric().goodput().set_measure_interval(0, end);
-    runner.fabric().run_until(end);
-    const auto& g = runner.fabric().goodput();
-    // Skip the first third of each phase (ramp / detection transients).
-    const double pre = window_sum(g, base.num_tors, phase / 3, phase);
-    const double during =
-        window_sum(g, base.num_tors, fail_at + phase / 3, repair_at);
-    const double post =
-        window_sum(g, base.num_tors, repair_at + phase / 3, end);
-    table.add_row({fmt(ratio * 100, 0) + "%", fmt(during / pre, 3),
-                   fmt(post / pre, 3)});
+    const auto& m = outcomes[next++].metrics;
+    table.add_row({fmt(ratio * 100, 0) + "%", fmt(m[0], 3), fmt(m[1], 3)});
   }
   table.print();
   std::printf(

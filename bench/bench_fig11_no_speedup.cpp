@@ -25,14 +25,25 @@ int main() {
   };
   for (System& sys : systems) sys.cfg.speedup = 1.0;
 
+  std::vector<SweepPoint> points;
+  for (const System& sys : systems) {
+    for (double load : kLoads) {
+      points.push_back(standard_point(sys.cfg, sizes, load, duration, 11,
+                                      std::string(sys.name) + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
   ConsoleTable fct({"system", "10%", "25%", "50%", "75%", "100%"});
   ConsoleTable goodput({"system", "10%", "25%", "50%", "75%", "100%"});
+  std::size_t next = 0;
   for (const System& sys : systems) {
     std::vector<std::string> fct_row{sys.name};
     std::vector<std::string> gp_row{sys.name};
     for (double load : kLoads) {
-      const auto flows = load_workload(sys.cfg, sizes, load, duration, 11);
-      const RunResult r = measure(sys.cfg, flows, duration);
+      (void)load;
+      const RunResult& r = outcomes[next++].result;
       fct_row.push_back(fct_ms(r.mice.p99_ns));
       gp_row.push_back(fmt(r.goodput, 3));
     }

@@ -17,18 +17,39 @@ int main() {
   const auto sizes = SizeDistribution::hadoop();
   const double loads[] = {0.10, 0.50, 1.00};
 
-  std::printf("\n(a) predefined timeslot duration: 99p mice FCT (us)\n");
-  ConsoleTable slot_table({"slot (ns)", "10% load", "50% load", "100% load"});
+  // Declare both sub-figures as one grid so the sweep fills every core.
+  std::vector<SweepPoint> points;
   for (Nanos slot : {20, 30, 60, 90, 120}) {
     NetworkConfig cfg =
         paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
     cfg.epoch.predefined_data_ns = slot - cfg.epoch.guardband_ns;
+    for (double load : loads) {
+      points.push_back(standard_point(cfg, sizes, load, duration, 12,
+                                      "slot" + std::to_string(slot) + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+  for (int slots : {10, 30, 50, 100, 500}) {
+    NetworkConfig cfg =
+        paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
+    cfg.epoch.scheduled_slots = slots;
+    for (double load : loads) {
+      points.push_back(standard_point(cfg, sizes, load, duration, 13,
+                                      "len" + std::to_string(slots) + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+  std::size_t next = 0;
+
+  std::printf("\n(a) predefined timeslot duration: 99p mice FCT (us)\n");
+  ConsoleTable slot_table({"slot (ns)", "10% load", "50% load", "100% load"});
+  for (Nanos slot : {20, 30, 60, 90, 120}) {
     std::vector<std::string> row{std::to_string(slot) +
                                  (slot == 60 ? "*" : "")};
     for (double load : loads) {
-      const auto flows = load_workload(cfg, sizes, load, duration, 12);
-      const RunResult r = measure(cfg, flows, duration);
-      row.push_back(fmt(r.mice.p99_ns / 1e3, 1));
+      (void)load;
+      row.push_back(fmt(outcomes[next++].result.mice.p99_ns / 1e3, 1));
     }
     slot_table.add_row(row);
   }
@@ -37,14 +58,11 @@ int main() {
   std::printf("\n(b) scheduled phase length: 99p mice FCT (ms) / goodput\n");
   ConsoleTable len_table({"slots", "10% load", "50% load", "100% load"});
   for (int slots : {10, 30, 50, 100, 500}) {
-    NetworkConfig cfg =
-        paper_config(TopologyKind::kParallel, SchedulerKind::kNegotiator);
-    cfg.epoch.scheduled_slots = slots;
     std::vector<std::string> row{std::to_string(slots) +
                                  (slots == 30 ? "*" : "")};
     for (double load : loads) {
-      const auto flows = load_workload(cfg, sizes, load, duration, 13);
-      const RunResult r = measure(cfg, flows, duration);
+      (void)load;
+      const RunResult& r = outcomes[next++].result;
       row.push_back(fct_ms(r.mice.p99_ns) + " / " + fmt(r.goodput, 2));
     }
     len_table.add_row(row);

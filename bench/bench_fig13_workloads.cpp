@@ -27,8 +27,21 @@ std::vector<System> systems() {
   };
 }
 
-void sweep_simple(const char* title, const SizeDistribution& sizes,
-                  Nanos duration) {
+void declare_simple(std::vector<SweepPoint>& points,
+                    const SizeDistribution& sizes, Nanos duration) {
+  for (const System& sys : systems()) {
+    for (double load : kLoads) {
+      points.push_back(standard_point(sys.cfg, sizes, load, duration, 13,
+                                      std::string(sys.name) + "/" +
+                                          sizes.name() + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+}
+
+void print_simple(const char* title,
+                  const std::vector<SweepOutcome>& outcomes,
+                  std::size_t& next) {
   std::printf("\n%s\n", title);
   ConsoleTable table({"system", "metric", "10%", "25%", "50%", "75%",
                       "100%"});
@@ -36,8 +49,8 @@ void sweep_simple(const char* title, const SizeDistribution& sizes,
     std::vector<std::string> fct_row{sys.name, "99p FCT (ms)"};
     std::vector<std::string> gp_row{sys.name, "goodput"};
     for (double load : kLoads) {
-      const auto flows = load_workload(sys.cfg, sizes, load, duration, 13);
-      const RunResult r = measure(sys.cfg, flows, duration);
+      (void)load;
+      const RunResult& r = outcomes[next++].result;
       fct_row.push_back(fct_ms(r.mice.p99_ns));
       gp_row.push_back(fmt(r.goodput, 3));
     }
@@ -53,28 +66,53 @@ int main() {
   const Nanos duration = bench_duration(3.0);
   print_header("Fig. 13: more workloads");
 
+  // Declare the whole figure — the incast mix of (a) plus the plain
+  // sweeps of (b) and (c) — as one grid, then print from the merged
+  // outcomes. Mix bodies return [bg 99p FCT ns, incast mean ns].
+  const auto hadoop = SizeDistribution::hadoop();
+  std::vector<SweepPoint> points;
+  for (const System& sys : systems()) {
+    const NetworkConfig cfg = sys.cfg;
+    for (double load : kLoads) {
+      points.push_back(custom_point(
+          [cfg, hadoop, load, duration](const SweepPoint&) {
+            Runner runner(cfg);
+            auto bg = load_workload(cfg, hadoop, load, duration, 14);
+            Rng rng(15);
+            auto incasts = make_incast_mix(
+                cfg.num_tors, 20, 1_KB, 0.02, cfg.host_rate(), 0, duration,
+                rng, static_cast<FlowId>(bg.size()), /*group=*/1);
+            runner.add_flows(bg);
+            runner.add_flows(incasts);
+            SweepOutcome out;
+            out.result = runner.run(duration, duration / 2);
+            out.metrics = {
+                runner.fabric().fct().mice_summary(0).p99_ns,
+                runner.fabric().fct().all_summary(1).mean_ns,
+            };
+            return out;
+          },
+          std::string(sys.name) + "/mix @" + fmt(load, 2)));
+    }
+  }
+  declare_simple(points, SizeDistribution::web_search(), duration);
+  declare_simple(points, SizeDistribution::google(), duration);
+  const auto outcomes = run_sweep(points);
+
   // (a) Hadoop + incast mix.
   std::printf("\n(a) Hadoop + incast mix (degree 20, 1KB, 2%% of bw)\n");
   ConsoleTable mix({"system", "metric", "10%", "25%", "50%", "75%", "100%"});
-  const auto hadoop = SizeDistribution::hadoop();
+  std::size_t next = 0;
   for (const System& sys : systems()) {
     std::vector<std::string> bg_row{sys.name, "bg 99p FCT (ms)"};
     std::vector<std::string> inc_row{sys.name, "incast finish (us)"};
     std::vector<std::string> gp_row{sys.name, "goodput"};
     for (double load : kLoads) {
-      Runner runner(sys.cfg);
-      auto bg = load_workload(sys.cfg, hadoop, load, duration, 14);
-      Rng rng(15);
-      auto incasts = make_incast_mix(
-          sys.cfg.num_tors, 20, 1_KB, 0.02, sys.cfg.host_rate(), 0, duration,
-          rng, static_cast<FlowId>(bg.size()), /*group=*/1);
-      runner.add_flows(bg);
-      runner.add_flows(incasts);
-      const RunResult r = runner.run(duration, duration / 2);
-      bg_row.push_back(fct_ms(runner.fabric().fct().mice_summary(0).p99_ns));
-      const FctSummary inc = runner.fabric().fct().all_summary(1);
-      inc_row.push_back(fmt(inc.mean_ns / 1e3, 1));
-      gp_row.push_back(fmt(r.goodput, 3));
+      (void)load;
+      const SweepOutcome& o = outcomes[next++];
+      bg_row.push_back(fct_ms(o.metrics[0]));
+      inc_row.push_back(fmt(o.metrics[1] / 1e3, 1));
+      gp_row.push_back(fmt(o.result.goodput, 3));
     }
     mix.add_row(bg_row);
     mix.add_row(inc_row);
@@ -82,10 +120,8 @@ int main() {
   }
   mix.print();
 
-  sweep_simple("(b) web-search workload (DCTCP)",
-               SizeDistribution::web_search(), duration);
-  sweep_simple("(c) Google datacenter workload", SizeDistribution::google(),
-               duration);
+  print_simple("(b) web-search workload (DCTCP)", outcomes, next);
+  print_simple("(c) Google datacenter workload", outcomes, next);
   std::printf(
       "\npaper: consistent FCT and goodput advantages for NegotiaToR across "
       "all three workloads; incasts served with minor impact on background "

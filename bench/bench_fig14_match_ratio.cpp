@@ -15,24 +15,42 @@ int main() {
   const Nanos duration = bench_duration(4.0);
   const auto sizes = SizeDistribution::hadoop();
 
-  ConsoleTable table({"topology", "n", "theory E[Y]", "measured mean",
-                      "measured p5", "measured p95"});
+  // Bodies return [mean, p5, p95] of the post-ramp match-ratio series.
+  std::vector<SweepPoint> points;
   for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
     const NetworkConfig cfg = paper_config(topo, SchedulerKind::kNegotiator);
-    Runner runner(cfg);
-    runner.add_flows(load_workload(cfg, sizes, 1.0, duration, 14));
-    runner.run(duration, duration / 2);
-    auto series = runner.fabric().match_ratio_series();
-    // Drop the ramp-up half.
-    std::vector<double> tail(series.begin() + static_cast<long>(series.size() / 2),
-                             series.end());
+    points.push_back(custom_point(
+        [cfg, sizes, duration](const SweepPoint&) {
+          Runner runner(cfg);
+          runner.add_flows(load_workload(cfg, sizes, 1.0, duration, 14));
+          runner.run(duration, duration / 2);
+          auto series = runner.fabric().match_ratio_series();
+          // Drop the ramp-up half.
+          std::vector<double> tail(
+              series.begin() + static_cast<long>(series.size() / 2),
+              series.end());
+          SweepOutcome out;
+          out.metrics = {mean(tail), percentile(tail, 5),
+                         percentile(tail, 95)};
+          return out;
+        },
+        to_string(topo)));
+    points.back().config = cfg;  // for the n/theory columns at merge time
+  }
+  const auto outcomes = run_sweep(points);
+
+  ConsoleTable table({"topology", "n", "theory E[Y]", "measured mean",
+                      "measured p5", "measured p95"});
+  std::size_t next = 0;
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    const NetworkConfig& cfg = points[next].config;
+    const auto& m = outcomes[next++].metrics;
     const int n = topo == TopologyKind::kParallel ? cfg.num_tors
                                                   : cfg.num_tors /
                                                         cfg.ports_per_tor;
     const double theory = 1.0 - std::pow(1.0 - 1.0 / n, n);
     table.add_row({to_string(topo), std::to_string(n), fmt(theory, 3),
-                   fmt(mean(tail), 3), fmt(percentile(tail, 5), 3),
-                   fmt(percentile(tail, 95), 3)});
+                   fmt(m[0], 3), fmt(m[1], 3), fmt(m[2], 3)});
   }
   table.print();
   std::printf(

@@ -12,38 +12,52 @@ using namespace negbench;
 
 namespace {
 
-void trace_incast(const char* name, const NetworkConfig& cfg) {
-  const Nanos window = 1 * kMicro;
-  Runner runner(cfg, window);
-  Rng rng(17);
-  const TorId dst = 0;
-  const Nanos inject = 10 * kMicro;
-  runner.add_flows(
-      make_incast(cfg.num_tors, 15, 1_KB, dst, inject, rng, 0, 1));
-  runner.fabric().run_until(inject + 40 * kMicro);
-  const auto& series = runner.fabric().goodput().tor_window_series(dst);
-  std::printf("%-22s Gbps per 1us window (t=0..50us):", name);
-  for (std::size_t w = 0; w < 50; ++w) {
-    const double bytes =
-        w < series.size() ? static_cast<double>(series[w]) : 0.0;
-    std::printf(" %.0f", bytes * 8.0 / static_cast<double>(window));
-  }
-  std::printf("\n");
+// Body: the receiver's first 50 per-window Gbps samples as metrics.
+SweepPoint trace_incast_point(const char* name, const NetworkConfig& cfg) {
+  return custom_point(
+      [cfg](const SweepPoint&) {
+        const Nanos window = 1 * kMicro;
+        Runner runner(cfg, window);
+        Rng rng(17);
+        const TorId dst = 0;
+        const Nanos inject = 10 * kMicro;
+        runner.add_flows(
+            make_incast(cfg.num_tors, 15, 1_KB, dst, inject, rng, 0, 1));
+        runner.fabric().run_until(inject + 40 * kMicro);
+        const auto& series = runner.fabric().goodput().tor_window_series(dst);
+        SweepOutcome out;
+        for (std::size_t w = 0; w < 50; ++w) {
+          const double bytes =
+              w < series.size() ? static_cast<double>(series[w]) : 0.0;
+          out.metrics.push_back(bytes * 8.0 / static_cast<double>(window));
+        }
+        return out;
+      },
+      name);
 }
 
 }  // namespace
 
 int main() {
   print_header("Fig. 17: receiver bandwidth, incast degree 15 (inject@10us)");
-  trace_incast("negotiator/parallel",
-               paper_config(TopologyKind::kParallel,
-                            SchedulerKind::kNegotiator));
-  trace_incast("negotiator/thin-clos",
-               paper_config(TopologyKind::kThinClos,
-                            SchedulerKind::kNegotiator));
-  trace_incast("oblivious/thin-clos",
-               paper_config(TopologyKind::kThinClos,
-                            SchedulerKind::kOblivious));
+  const std::vector<SweepPoint> points = {
+      trace_incast_point("negotiator/parallel",
+                         paper_config(TopologyKind::kParallel,
+                                      SchedulerKind::kNegotiator)),
+      trace_incast_point("negotiator/thin-clos",
+                         paper_config(TopologyKind::kThinClos,
+                                      SchedulerKind::kNegotiator)),
+      trace_incast_point("oblivious/thin-clos",
+                         paper_config(TopologyKind::kThinClos,
+                                      SchedulerKind::kOblivious)),
+  };
+  const auto outcomes = run_sweep(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::printf("%-22s Gbps per 1us window (t=0..50us):",
+                points[i].label.c_str());
+    for (double gbps : outcomes[i].metrics) std::printf(" %.0f", gbps);
+    std::printf("\n");
+  }
   std::printf(
       "\npaper: NegotiaToR receivers light up right after injection "
       "(identical across topologies); the oblivious receiver stays dark "

@@ -43,13 +43,35 @@ int main() {
       paper_config(TopologyKind::kThinClos, SchedulerKind::kOblivious),
   };
   const int kRepeats = 5;
+  // Every repeat is an independent run with its own seed — one sweep point
+  // each, averaged at merge time.
+  std::vector<SweepPoint> points;
+  for (int degree : {1, 10, 20, 30, 40, 50}) {
+    for (const NetworkConfig& cfg : configs) {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const auto seed = static_cast<std::uint64_t>(degree * 10 + rep);
+        points.push_back(custom_point(
+            [cfg, degree, seed](const SweepPoint&) {
+              SweepOutcome out;
+              out.metrics = {incast_finish_us(cfg, degree, seed)};
+              return out;
+            },
+            std::string(to_string(cfg.topology)) + "/" +
+                to_string(cfg.scheduler) + " deg" + std::to_string(degree) +
+                " rep" + std::to_string(rep)));
+      }
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
+  std::size_t next = 0;
   for (int degree : {1, 10, 20, 30, 40, 50}) {
     std::vector<std::string> cells{std::to_string(degree)};
     for (const NetworkConfig& cfg : configs) {
+      (void)cfg;
       double sum = 0;
       for (int rep = 0; rep < kRepeats; ++rep) {
-        sum += incast_finish_us(cfg, degree,
-                                static_cast<std::uint64_t>(degree * 10 + rep));
+        sum += outcomes[next++].metrics[0];
       }
       cells.push_back(fmt(sum / kRepeats, 2));
     }

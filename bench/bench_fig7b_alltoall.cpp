@@ -65,11 +65,30 @@ int main() {
       paper_config(TopologyKind::kThinClos, SchedulerKind::kNegotiator),
       paper_config(TopologyKind::kThinClos, SchedulerKind::kOblivious),
   };
+  std::vector<SweepPoint> points;
+  for (Bytes size : {1_KB, 5_KB, 30_KB, 100_KB, 500_KB}) {
+    for (const NetworkConfig& cfg : configs) {
+      points.push_back(custom_point(
+          [cfg, size](const SweepPoint&) {
+            const A2aResult r = alltoall_goodput(cfg, size);
+            SweepOutcome out;
+            out.metrics = {r.avg_gbps, r.sustained_gbps};
+            return out;
+          },
+          std::string(to_string(cfg.topology)) + "/" +
+              to_string(cfg.scheduler) + " " + std::to_string(size / 1000) +
+              "KB"));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
+  std::size_t next = 0;
   for (Bytes size : {1_KB, 5_KB, 30_KB, 100_KB, 500_KB}) {
     std::vector<std::string> cells{std::to_string(size / 1000) + "KB"};
     for (const NetworkConfig& cfg : configs) {
-      const A2aResult r = alltoall_goodput(cfg, size);
-      cells.push_back(fmt(r.avg_gbps, 0) + " / " + fmt(r.sustained_gbps, 0));
+      (void)cfg;
+      const auto& m = outcomes[next++].metrics;
+      cells.push_back(fmt(m[0], 0) + " / " + fmt(m[1], 0));
     }
     table.add_row(cells);
   }

@@ -13,17 +13,28 @@ int main() {
   const Nanos duration = bench_duration(4.0);
   const auto sizes = SizeDistribution::hadoop();
 
+  std::vector<SweepPoint> points;
+  for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+    for (Nanos delay : {10, 20, 50, 100}) {
+      const NetworkConfig cfg = with_reconfiguration_delay(
+          paper_config(topo, SchedulerKind::kNegotiator), delay);
+      points.push_back(standard_point(cfg, sizes, 1.0, duration, 8,
+                                      std::string(to_string(topo)) + " d" +
+                                          std::to_string(delay)));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
+  std::size_t next = 0;
   for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
     std::printf("\n-- %s --\n", to_string(topo));
     ConsoleTable table(
         {"delay (ns)", "epoch (us)", "99p FCT (ms)", "goodput"});
     for (Nanos delay : {10, 20, 50, 100}) {
-      NetworkConfig cfg = with_reconfiguration_delay(
-          paper_config(topo, SchedulerKind::kNegotiator), delay);
-      const auto flows = load_workload(cfg, sizes, 1.0, duration, 8);
-      const RunResult r = measure(cfg, flows, duration);
+      const SweepPoint& p = points[next];
+      const RunResult& r = outcomes[next++].result;
       table.add_row({std::to_string(delay),
-                     fmt(cfg.epoch_length_ns() / 1e3, 2),
+                     fmt(p.config.epoch_length_ns() / 1e3, 2),
                      fct_ms(r.mice.p99_ns), fmt(r.goodput, 3)});
     }
     table.print();

@@ -9,15 +9,28 @@
 // can compare BENCH_perf.json against the previous one to catch hot-path
 // regressions.
 //
+// A second section measures the *sweep* dimension: the fig9 grid (3
+// systems x 5 loads) executed through the SweepEngine at 1, 2, and
+// hardware-concurrency threads, reporting points/sec and the wall-clock
+// speedup over the sequential run — the multi-core trajectory. The merged
+// results are fingerprinted at every thread count to prove the
+// determinism contract (identical output regardless of schedule).
+//
 // Environment:
-//   NEG_DURATION_MS  simulated milliseconds per run (default 2.0)
-//   NEG_PERF_TORS    comma-separated N list (default "16,64,128")
-//   NEG_PERF_JSON    path to write the machine-readable results
+//   NEG_DURATION_MS    simulated milliseconds per run (default 2.0)
+//   NEG_PERF_TORS      comma-separated N list (default "16,64,128")
+//   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
+//   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
+//                      (default "1,2,<hardware concurrency>")
+//   NEG_PERF_JSON      path to write the machine-readable results
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,10 +62,11 @@ struct PerfRun {
   }
 };
 
-std::vector<int> tor_counts() {
+std::vector<int> parse_int_list(const char* env_name,
+                                const std::string& fallback, int min_value) {
   std::vector<int> out;
-  const char* env = std::getenv("NEG_PERF_TORS");
-  const std::string spec = env != nullptr ? env : "16,64,128";
+  const char* env = std::getenv(env_name);
+  const std::string spec = env != nullptr ? env : fallback;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     const std::size_t comma = spec.find(',', pos);
@@ -60,12 +74,91 @@ std::vector<int> tor_counts() {
         spec.substr(pos, comma == std::string::npos ? spec.size() - pos
                                                     : comma - pos);
     const int n = std::atoi(tok.c_str());
-    if (n >= 2) out.push_back(n);
+    if (n >= min_value) out.push_back(n);
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
   return out;
 }
+
+std::vector<int> tor_counts() {
+  return parse_int_list("NEG_PERF_TORS", "16,64,128", 2);
+}
+
+std::vector<int> sweep_thread_counts() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> counts = parse_int_list(
+      "NEG_PERF_THREADS", "1,2," + std::to_string(hw), 1);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  if (counts.empty() || counts.front() != 1) {
+    counts.insert(counts.begin(), 1);  // the speedup baseline
+  }
+  return counts;
+}
+
+/// The fig9-style grid the sweep section executes: 3 systems x 5 loads.
+std::vector<SweepPoint> sweep_grid(int num_tors, Nanos duration) {
+  const struct {
+    const char* name;
+    TopologyKind topo;
+    SchedulerKind sched;
+  } systems[] = {
+      {"negotiator/parallel", TopologyKind::kParallel,
+       SchedulerKind::kNegotiator},
+      {"negotiator/thin-clos", TopologyKind::kThinClos,
+       SchedulerKind::kNegotiator},
+      {"oblivious/thin-clos", TopologyKind::kThinClos,
+       SchedulerKind::kOblivious},
+  };
+  const auto sizes = SizeDistribution::hadoop();
+  std::vector<SweepPoint> points;
+  for (const auto& sys : systems) {
+    NetworkConfig cfg = paper_config(sys.topo, sys.sched);
+    cfg.num_tors = num_tors;
+    for (double load : kLoads) {
+      points.push_back(standard_point(cfg, sizes, load, duration, 9,
+                                      std::string(sys.name) + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+  return points;
+}
+
+/// Order-sensitive fingerprint of a sweep's merged results, for the
+/// determinism check across thread counts.
+std::uint64_t fingerprint(const std::vector<SweepOutcome>& outcomes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the raw doubles
+  auto mix = [&h](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const SweepOutcome& o : outcomes) {
+    mix(o.result.mice.p99_ns);
+    mix(o.result.mice.mean_ns);
+    mix(o.result.all_flows.p99_ns);
+    mix(o.result.goodput);
+    mix(static_cast<double>(o.result.completed));
+    mix(static_cast<double>(o.result.backlog));
+  }
+  return h;
+}
+
+struct SweepPerf {
+  int threads;
+  std::size_t points;
+  double wall_seconds;
+  std::uint64_t digest;
+
+  double points_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(points) / wall_seconds
+                            : 0.0;
+  }
+};
 
 PerfRun measure_engine(const char* name, TopologyKind topo,
                        SchedulerKind sched, int n, double load,
@@ -94,7 +187,9 @@ PerfRun measure_engine(const char* name, TopologyKind topo,
   return out;
 }
 
-void write_json(const char* path, const std::vector<PerfRun>& runs) {
+void write_json(const char* path, const std::vector<PerfRun>& runs,
+                const std::vector<SweepPerf>& sweeps, int sweep_tors,
+                bool deterministic) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_perf_engine: cannot write %s\n", path);
@@ -106,7 +201,11 @@ void write_json(const char* path, const std::vector<PerfRun>& runs) {
     total_events += r.events;
     total_wall += r.wall_seconds;
   }
-  std::fprintf(f, "{\n  \"bench\": \"perf_engine\",\n  \"runs\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"perf_engine\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"bench_threads\": %u,\n", SweepEngine::default_threads());
+  std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const PerfRun& r = runs[i];
     std::fprintf(
@@ -124,11 +223,26 @@ void write_json(const char* path, const std::vector<PerfRun>& runs) {
   }
   std::fprintf(f,
                "  ],\n  \"aggregate\": {\"events\": %llu, "
-               "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f}\n}\n",
+               "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f},\n",
                static_cast<unsigned long long>(total_events), total_wall,
                total_wall > 0
                    ? static_cast<double>(total_events) / total_wall
                    : 0.0);
+  const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
+  std::fprintf(f, "  \"sweep\": {\"grid\": \"fig9\", \"num_tors\": %d, "
+               "\"deterministic\": %s, \"runs\": [\n",
+               sweep_tors, deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepPerf& s = sweeps[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"points\": %zu, "
+                 "\"wall_seconds\": %.6f, \"points_per_sec\": %.3f, "
+                 "\"speedup_vs_1t\": %.3f}%s\n",
+                 s.threads, s.points, s.wall_seconds, s.points_per_sec(),
+                 s.wall_seconds > 0 ? base_wall / s.wall_seconds : 0.0,
+                 i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]}\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -181,8 +295,48 @@ int main() {
                   ? static_cast<double>(total_events) / total_wall
                   : 0.0);
 
-  if (const char* path = std::getenv("NEG_PERF_JSON")) {
-    write_json(path, runs);
+  // --- Sweep dimension: the fig9 grid across worker-thread counts. ---
+  const int sweep_tors = [] {
+    const char* env = std::getenv("NEG_PERF_SWEEP_TORS");
+    const int n = env != nullptr ? std::atoi(env) : 0;
+    return n >= 2 ? n : 64;
+  }();
+  print_header("Sweep perf: fig9 grid points/sec vs worker threads");
+  const std::vector<SweepPoint> grid = sweep_grid(sweep_tors, duration);
+  std::vector<SweepPerf> sweeps;
+  bool deterministic = true;
+  ConsoleTable sweep_table(
+      {"threads", "points", "wall s", "points/s", "speedup", "digest"});
+  for (const int t : sweep_thread_counts()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes =
+        SweepEngine(static_cast<unsigned>(t)).run(grid);
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepPerf s;
+    s.threads = t;
+    s.points = grid.size();
+    s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.digest = fingerprint(outcomes);
+    if (!sweeps.empty() && s.digest != sweeps.front().digest) {
+      deterministic = false;
+    }
+    sweeps.push_back(s);
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(s.digest));
+    sweep_table.add_row({std::to_string(s.threads),
+                         std::to_string(s.points), fmt(s.wall_seconds, 3),
+                         fmt(s.points_per_sec(), 2),
+                         fmt(sweeps.front().wall_seconds / s.wall_seconds, 2),
+                         digest_hex});
   }
-  return 0;
+  sweep_table.print();
+  std::printf("determinism (identical merged results at every thread "
+              "count): %s\n",
+              deterministic ? "PASS" : "FAIL");
+
+  if (const char* path = std::getenv("NEG_PERF_JSON")) {
+    write_json(path, runs, sweeps, sweep_tors, deterministic);
+  }
+  return deterministic ? 0 : 1;
 }

@@ -35,7 +35,6 @@ int main() {
   const Nanos duration = bench_duration(4.0);
   const auto sizes = SizeDistribution::hadoop();
 
-  ConsoleTable table({"config", "parallel 99p/avg", "thin-clos 99p/avg"});
   const struct {
     const char* name;
     bool pb, pq;
@@ -45,13 +44,26 @@ int main() {
       {"PQ", false, true},
       {"PB and PQ", true, true},
   };
+  std::vector<SweepPoint> points;
+  for (const auto& row : rows) {
+    for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
+      const NetworkConfig cfg = ablation_config(topo, row.pb, row.pq);
+      points.push_back(standard_point(cfg, sizes, 1.0, duration, 2024,
+                                      std::string(row.name) + " " +
+                                          to_string(topo)));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
+  ConsoleTable table({"config", "parallel 99p/avg", "thin-clos 99p/avg"});
+  std::size_t next = 0;
   for (const auto& row : rows) {
     std::vector<std::string> cells{row.name};
     for (auto topo : {TopologyKind::kParallel, TopologyKind::kThinClos}) {
-      const NetworkConfig cfg = ablation_config(topo, row.pb, row.pq);
-      const auto flows = load_workload(cfg, sizes, 1.0, duration, 2024);
-      const RunResult r = measure(cfg, flows, duration);
-      const double epoch = static_cast<double>(cfg.epoch_length_ns());
+      (void)topo;
+      const SweepPoint& p = points[next];
+      const RunResult& r = outcomes[next++].result;
+      const double epoch = static_cast<double>(p.config.epoch_length_ns());
       cells.push_back(fmt(r.mice.p99_ns / epoch, 1) + "/" +
                       fmt(r.mice.mean_ns / epoch, 1));
     }

@@ -24,12 +24,23 @@ int main() {
       {"Stateful", paper_config(TopologyKind::kParallel,
                                 SchedulerKind::kNegotiatorStateful)},
   };
+  std::vector<SweepPoint> points;
+  for (const auto& sys : systems) {
+    for (double load : kLoads) {
+      points.push_back(standard_point(sys.cfg, sizes, load, duration, 18,
+                                      std::string(sys.name) + " @" +
+                                          fmt(load, 2)));
+    }
+  }
+  const auto outcomes = run_sweep(points);
+
   ConsoleTable table({"system", "10%", "25%", "50%", "75%", "100%"});
+  std::size_t next = 0;
   for (const auto& sys : systems) {
     std::vector<std::string> row{sys.name};
     for (double load : kLoads) {
-      const auto flows = load_workload(sys.cfg, sizes, load, duration, 18);
-      const RunResult r = measure(sys.cfg, flows, duration);
+      (void)load;
+      const RunResult& r = outcomes[next++].result;
       row.push_back(fmt(r.mice.p99_ns / 1e3, 1) + "/" + fmt(r.goodput, 3));
     }
     table.add_row(row);

@@ -4,18 +4,44 @@
 # against the paper's evaluation (§4).
 #
 # Usage:
-#   scripts/run_benches.sh [build-dir]
+#   scripts/run_benches.sh [--threads N] [build-dir]
 #
 # Environment:
-#   NEG_DURATION_MS  simulated milliseconds per run (default: each bench's
-#                    own short default; the paper uses 30).
-#   NEG_PERF_JSON    where bench_perf_engine writes its machine-readable
-#                    results (default: <repo>/BENCH_perf.json), the repo's
-#                    perf trajectory.
+#   NEG_DURATION_MS    simulated milliseconds per run (default: each
+#                      bench's own short default; the paper uses 30).
+#   NEG_BENCH_THREADS  sweep worker threads per bench (default: hardware
+#                      concurrency; --threads overrides). Any value yields
+#                      byte-identical bench output — only wall time moves.
+#   NEG_PERF_JSON      where bench_perf_engine writes its machine-readable
+#                      results (default: <repo>/BENCH_perf.json), the
+#                      repo's perf trajectory.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
+
+threads="${NEG_BENCH_THREADS:-}"
+positional=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads)
+      [[ $# -ge 2 ]] || { echo "error: --threads needs a value" >&2; exit 2; }
+      threads="$2"; shift 2 ;;
+    --threads=*)
+      threads="${1#--threads=}"; shift ;;
+    *)
+      positional+=("$1"); shift ;;
+  esac
+done
+if [[ -z "${threads}" ]]; then
+  threads="$(nproc 2>/dev/null || echo 1)"
+fi
+if ! [[ "${threads}" =~ ^[0-9]+$ && "${threads}" -ge 1 ]]; then
+  echo "error: invalid thread count '${threads}'" >&2
+  exit 2
+fi
+export NEG_BENCH_THREADS="${threads}"
+
+build_dir="${positional[0]:-${repo_root}/build}"
 bench_dir="${build_dir}/bench"
 out_dir="${repo_root}/bench/out"
 
@@ -27,8 +53,11 @@ fi
 
 mkdir -p "${out_dir}"
 
-# bench_perf_engine emits the machine-readable perf trajectory; keep it at
-# the repo root so every PR's numbers are easy to diff.
+echo "sweep threads: ${NEG_BENCH_THREADS}"
+
+# bench_perf_engine emits the machine-readable perf trajectory (including
+# the chosen thread count as "bench_threads"); keep it at the repo root so
+# every PR's numbers are easy to diff.
 export NEG_PERF_JSON="${NEG_PERF_JSON:-${repo_root}/BENCH_perf.json}"
 
 shopt -s nullglob

@@ -108,6 +108,12 @@ struct ObliviousConfig {
 };
 
 /// Complete description of one simulated network.
+///
+/// A plain value type with no shared or global state: copying it into a
+/// sweep point gives that run a fully independent configuration (including
+/// `seed`, the root of the run's private RNG chain), so concurrent runs
+/// never observe each other — the isolation the multi-core sweep engine
+/// (engine/sweep.h) is built on.
 struct NetworkConfig {
   int num_tors{128};
   int ports_per_tor{8};

@@ -1,10 +1,14 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace negotiator {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// The only process-wide mutable state in the simulator (see common/rng.h
+// for the per-run isolation invariant). Atomic so concurrent sweep workers
+// can log while a test adjusts verbosity without a data race.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,8 +22,10 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {

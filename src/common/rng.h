@@ -2,6 +2,15 @@
 //
 // xoshiro256** with SplitMix64 seeding: fast, high quality, and fully
 // reproducible across platforms (unlike std::default_random_engine).
+//
+// Ownership invariant (relied on by engine/sweep.h): there is no global or
+// thread-local RNG anywhere in the simulator. Every Rng is a plain value
+// owned by exactly one fabric, workload generator, or bench body, seeded
+// explicitly and advanced only by its owner. Concurrent simulation runs
+// therefore never share random state, and a run's output is a pure
+// function of its seeds — independent of thread count and schedule. Keep
+// it that way: to derive a stream for a sub-component, fork() or pass a
+// fresh seed; never reach for a shared instance.
 #pragma once
 
 #include <cstdint>

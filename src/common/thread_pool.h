@@ -1,0 +1,109 @@
+// Fixed-size thread pool for coarse-grained, embarrassingly parallel work
+// (one task per simulation run). Deliberately minimal: a single FIFO queue,
+// no work stealing, no futures — sweep tasks are seconds long, so queue
+// contention is irrelevant and submission-order fairness is all we need.
+//
+// Exception contract: a task that throws does not kill its worker. The
+// first exception is captured and rethrown from the next drain(); later
+// exceptions (until that drain) are dropped.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace negotiator {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Finishes every queued task, then joins the workers. Exceptions still
+  /// pending from tasks are dropped — call drain() first to observe them.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called concurrently with destruction.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  /// Blocks until all submitted tasks have finished, then rethrows the
+  /// first exception any of them threw (if any) and clears it, leaving the
+  /// pool reusable.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        task_ready_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, and nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error && !first_error_) first_error_ = error;
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;  ///< workers wait here for work
+  std::condition_variable idle_;        ///< drain() waits here for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_{0};
+  bool stopping_{false};
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace negotiator

@@ -1,0 +1,78 @@
+#include "engine/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "workload/generator.h"
+
+namespace negotiator {
+
+namespace {
+
+SweepOutcome execute_point(const SweepPoint& point) {
+  SweepOutcome outcome;
+  try {
+    if (point.body) {
+      outcome = point.body(point);
+    } else {
+      outcome.result = run_standard_point(point);
+    }
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.ok = false;
+    outcome.error = "unknown exception";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+RunResult run_standard_point(const SweepPoint& point) {
+  WorkloadGenerator gen(point.sizes, point.config.num_tors,
+                        point.config.host_rate(), point.load,
+                        Rng(point.seed));
+  Runner runner(point.config);
+  runner.add_flows(gen.generate(0, point.duration));
+  return runner.run(point.duration, point.measure_from);
+}
+
+SweepEngine::SweepEngine(unsigned threads)
+    : threads_(threads != 0 ? threads : default_threads()) {}
+
+unsigned SweepEngine::default_threads() {
+  if (const char* env = std::getenv("NEG_BENCH_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+std::vector<SweepOutcome> SweepEngine::run(
+    const std::vector<SweepPoint>& points) const {
+  std::vector<SweepOutcome> outcomes(points.size());
+  if (threads_ <= 1 || points.size() <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      outcomes[i] = execute_point(points[i]);
+    }
+    return outcomes;
+  }
+  // No point spawning workers that could never receive a task.
+  ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(threads_, points.size())));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pool.submit([&points, &outcomes, i] {
+      outcomes[i] = execute_point(points[i]);
+    });
+  }
+  pool.drain();
+  return outcomes;
+}
+
+}  // namespace negotiator

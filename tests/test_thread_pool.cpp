@@ -1,0 +1,105 @@
+// ThreadPool: shutdown, drain, and exception-safety contracts the sweep
+// engine relies on.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace negotiator {
+namespace {
+
+TEST(ThreadPool, ConstructsAndDestructsWithoutTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.drain();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, DrainIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+    pool.drain();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, DestructorFinishesQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // No drain: the destructor must still complete the backlog.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.drain();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionDoesNotKillWorkersAndSurfacesInDrain) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(count.load(), 50);
+
+  // The pool stays usable and the error does not resurface.
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  EXPECT_NO_THROW(pool.drain());
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.drain();
+  EXPECT_EQ(count.load(), 400);
+}
+
+}  // namespace
+}  // namespace negotiator
