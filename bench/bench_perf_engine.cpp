@@ -16,12 +16,22 @@
 // results are fingerprinted at every thread count to prove the
 // determinism contract (identical output regardless of schedule).
 //
+// A third section records the *scaling* dimension: events/sec for every
+// fig9 system at N in {16, 64, 128, 256}, so the per-event cost trend vs
+// fabric size (the asymptotic claim of the sparse epoch pipeline) is a
+// recorded artifact rather than a one-off measurement.
+//
 // Environment:
 //   NEG_DURATION_MS    simulated milliseconds per run (default 2.0)
 //   NEG_PERF_TORS      comma-separated N list (default "16,64,128")
+//   NEG_PERF_SCALING_TORS  N list for the scaling section
+//                      (default "16,64,128,256"; lists sharing N with
+//                      NEG_PERF_TORS reuse those runs)
 //   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
 //   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
-//                      (default "1,2,<hardware concurrency>")
+//                      (default "1,2,<hardware concurrency>"; on a 1-core
+//                      host only "1" runs — a multi-thread timing row
+//                      there would record a meaningless ~1x "speedup")
 //   NEG_PERF_JSON      path to write the machine-readable results
 #include <algorithm>
 #include <chrono>
@@ -85,8 +95,25 @@ std::vector<int> tor_counts() {
   return parse_int_list("NEG_PERF_TORS", "16,64,128", 2);
 }
 
+std::vector<int> scaling_tor_counts() {
+  return parse_int_list("NEG_PERF_SCALING_TORS", "16,64,128,256", 2);
+}
+
+/// Why the multi-thread sweep rows were skipped; empty when they ran.
+std::string sweep_skipped_reason() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw == 1 && std::getenv("NEG_PERF_THREADS") == nullptr) {
+    return "hardware_concurrency == 1: a 2-thread timing row on a 1-core "
+           "host records a meaningless ~1x speedup";
+  }
+  return "";
+}
+
 std::vector<int> sweep_thread_counts() {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (!sweep_skipped_reason().empty()) {
+    return {1};  // the determinism fingerprint still gets one row
+  }
   std::vector<int> counts = parse_int_list(
       "NEG_PERF_THREADS", "1,2," + std::to_string(hw), 1);
   std::sort(counts.begin(), counts.end());
@@ -188,8 +215,9 @@ PerfRun measure_engine(const char* name, TopologyKind topo,
 }
 
 void write_json(const char* path, const std::vector<PerfRun>& runs,
+                const std::vector<PerfRun>& scaling,
                 const std::vector<SweepPerf>& sweeps, int sweep_tors,
-                bool deterministic) {
+                bool deterministic, const std::string& skipped_reason) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_perf_engine: cannot write %s\n", path);
@@ -228,10 +256,28 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                total_wall > 0
                    ? static_cast<double>(total_events) / total_wall
                    : 0.0);
+  // Scaling: events/sec vs N per system (the asymptotic record).
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const PerfRun& r = scaling[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"num_tors\": %d, "
+                 "\"events\": %llu, \"wall_seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), r.num_tors,
+                 static_cast<unsigned long long>(r.events), r.wall_seconds,
+                 r.events_per_sec(), i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
   std::fprintf(f, "  \"sweep\": {\"grid\": \"fig9\", \"num_tors\": %d, "
-               "\"deterministic\": %s, \"runs\": [\n",
+               "\"deterministic\": %s, ",
                sweep_tors, deterministic ? "true" : "false");
+  if (!skipped_reason.empty()) {
+    std::fprintf(f, "\"skipped_reason\": \"%s\", ",
+                 skipped_reason.c_str());
+  }
+  std::fprintf(f, "\"runs\": [\n");
   for (std::size_t i = 0; i < sweeps.size(); ++i) {
     const SweepPerf& s = sweeps[i];
     std::fprintf(f,
@@ -295,6 +341,31 @@ int main() {
                   ? static_cast<double>(total_events) / total_wall
                   : 0.0);
 
+  // --- Scaling dimension: events/sec vs N (reusing matching runs). ---
+  print_header("Scaling: events/sec vs N");
+  std::vector<PerfRun> scaling;
+  ConsoleTable scaling_table({"system", "N", "events", "wall s", "events/s"});
+  for (const int n : scaling_tor_counts()) {
+    for (const auto& sys : systems) {
+      const PerfRun* reuse = nullptr;
+      for (const PerfRun& r : runs) {
+        if (r.num_tors == n && r.name == sys.name) {
+          reuse = &r;
+          break;
+        }
+      }
+      const PerfRun r = reuse != nullptr
+                            ? *reuse
+                            : measure_engine(sys.name, sys.topo, sys.sched,
+                                             n, load, duration);
+      scaling_table.add_row({r.name, std::to_string(r.num_tors),
+                             std::to_string(r.events), fmt(r.wall_seconds, 3),
+                             fmt(r.events_per_sec(), 0)});
+      scaling.push_back(r);
+    }
+  }
+  scaling_table.print();
+
   // --- Sweep dimension: the fig9 grid across worker-thread counts. ---
   const int sweep_tors = [] {
     const char* env = std::getenv("NEG_PERF_SWEEP_TORS");
@@ -331,12 +402,17 @@ int main() {
                          digest_hex});
   }
   sweep_table.print();
+  const std::string skipped = sweep_skipped_reason();
+  if (!skipped.empty()) {
+    std::printf("multi-thread rows skipped: %s\n", skipped.c_str());
+  }
   std::printf("determinism (identical merged results at every thread "
               "count): %s\n",
               deterministic ? "PASS" : "FAIL");
 
   if (const char* path = std::getenv("NEG_PERF_JSON")) {
-    write_json(path, runs, sweeps, sweep_tors, deterministic);
+    write_json(path, runs, scaling, sweeps, sweep_tors, deterministic,
+               skipped);
   }
   return deterministic ? 0 : 1;
 }

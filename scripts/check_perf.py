@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression smoke over bench_perf_engine's BENCH_perf.json.
+
+Usage: check_perf.py <fresh.json> <committed-baseline.json>
+
+Gating: the fresh run's sweep determinism flag must be true (identical
+merged sweep results at every worker-thread count) — a mismatch means the
+engine's output depends on scheduling, which breaks the repo's
+bit-identical-for-fixed-seed contract. Exit code 1.
+
+Non-gating: if aggregate events/sec over the runs common to both files
+(matched by system name and num_tors; wall-clock noise on shared CI runners
+makes per-run comparisons meaningless) regressed more than 30% vs the
+committed baseline, a GitHub Actions ::warning:: is emitted but the check
+still passes — hardware varies across runners, so a human decides.
+"""
+import json
+import sys
+
+REGRESSION_THRESHOLD = 0.30
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def matched_aggregate(fresh, baseline):
+    base_runs = {(r["name"], r["num_tors"]): r for r in baseline.get("runs", [])}
+    events = wall = base_events = base_wall = 0.0
+    matched = 0
+    for r in fresh.get("runs", []):
+        key = (r["name"], r["num_tors"])
+        if key not in base_runs:
+            continue
+        matched += 1
+        events += r["events"]
+        wall += r["wall_seconds"]
+        base_events += base_runs[key]["events"]
+        base_wall += base_runs[key]["wall_seconds"]
+    if matched == 0 or wall <= 0 or base_wall <= 0:
+        return None
+    return matched, events / wall, base_events / base_wall
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        fresh = load(sys.argv[1])
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::error::fresh perf JSON missing ({e}) — the perf bench "
+              "crashed before writing its results")
+        return 1
+    try:
+        baseline = load(sys.argv[2])
+    except (OSError, json.JSONDecodeError) as e:
+        # The baseline comparison is non-gating; a missing/corrupt committed
+        # file must not fail the determinism gate.
+        print(f"::warning::committed baseline unreadable ({e}); "
+              "skipping the regression comparison")
+        baseline = {}
+
+    failed = False
+    sweep = fresh.get("sweep", {})
+    if sweep.get("deterministic") is not True:
+        print("::error::sweep determinism fingerprint mismatch across "
+              "thread counts — simulation output depends on scheduling")
+        failed = True
+    else:
+        reason = sweep.get("skipped_reason")
+        note = f" (multi-thread rows skipped: {reason})" if reason else ""
+        print(f"determinism: PASS{note}")
+
+    agg = matched_aggregate(fresh, baseline)
+    if agg is None:
+        print("no runs in common with the committed baseline; "
+              "skipping the regression comparison")
+    else:
+        matched, fresh_eps, base_eps = agg
+        ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+        print(f"aggregate events/sec over {matched} matched runs: "
+              f"{fresh_eps:,.0f} vs baseline {base_eps:,.0f} "
+              f"({ratio:.2f}x)")
+        if ratio < 1.0 - REGRESSION_THRESHOLD:
+            print(f"::warning::aggregate events/sec regressed "
+                  f"{(1.0 - ratio) * 100:.0f}% vs the committed "
+                  f"BENCH_perf.json (non-gating: runner hardware varies)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 // Dense set of ToR ids tuned for the fabric hot path: O(1) membership via
-// a bitmap, plus a compact sorted vector so iteration touches only the
-// live ids in ascending order (the stable view schedulers and the VLB
-// spreader rely on). Mutations are O(size) worst case, but callers only
+// a word bitmap, successor queries via count-trailing-zeros word scans
+// (the VLB spreader's round-robin pick), plus a compact sorted vector so
+// iteration touches only the live ids in ascending order (the stable view
+// schedulers rely on). Mutations are O(size) worst case, but callers only
 // mutate on empty/non-empty queue flips, not per packet.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/assert.h"
@@ -24,27 +27,33 @@ class ActiveSet {
   /// Clears the set and sizes the bitmap for ids in [0, capacity).
   void reset(int capacity) {
     NEG_ASSERT(capacity >= 0, "negative capacity");
-    member_.assign(static_cast<std::size_t>(capacity), false);
+    capacity_ = capacity;
+    words_.assign((static_cast<std::size_t>(capacity) + 63) / 64, 0);
     sorted_.clear();
   }
 
   void insert(TorId id) {
     grow_to(id);
-    if (member_[static_cast<std::size_t>(id)]) return;
-    member_[static_cast<std::size_t>(id)] = true;
+    std::uint64_t& word = words_[static_cast<std::size_t>(id) / 64];
+    const std::uint64_t bit = 1ULL << (static_cast<std::size_t>(id) % 64);
+    if ((word & bit) != 0) return;
+    word |= bit;
     sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), id), id);
   }
 
   void erase(TorId id) {
-    if (id < 0 || static_cast<std::size_t>(id) >= member_.size()) return;
-    if (!member_[static_cast<std::size_t>(id)]) return;
-    member_[static_cast<std::size_t>(id)] = false;
+    if (id < 0 || id >= capacity_) return;
+    std::uint64_t& word = words_[static_cast<std::size_t>(id) / 64];
+    const std::uint64_t bit = 1ULL << (static_cast<std::size_t>(id) % 64);
+    if ((word & bit) == 0) return;
+    word &= ~bit;
     sorted_.erase(std::lower_bound(sorted_.begin(), sorted_.end(), id));
   }
 
   bool contains(TorId id) const {
-    return id >= 0 && static_cast<std::size_t>(id) < member_.size() &&
-           member_[static_cast<std::size_t>(id)];
+    return id >= 0 && id < capacity_ &&
+           (words_[static_cast<std::size_t>(id) / 64] &
+            (1ULL << (static_cast<std::size_t>(id) % 64))) != 0;
   }
 
   bool empty() const { return sorted_.empty(); }
@@ -54,20 +63,43 @@ class ActiveSet {
   const_iterator begin() const { return sorted_.begin(); }
   const_iterator end() const { return sorted_.end(); }
 
-  /// First id strictly greater than `id`; end() when none.
-  const_iterator upper_bound(TorId id) const {
-    return std::upper_bound(sorted_.begin(), sorted_.end(), id);
+  /// Smallest member; kInvalidTor when empty.
+  TorId first_member() const {
+    return sorted_.empty() ? kInvalidTor : sorted_.front();
+  }
+
+  /// Smallest member strictly greater than `id` (kInvalidTor when none) —
+  /// a count-trailing-zeros scan over the bitmap words, O(words) worst
+  /// case but O(1) in the common dense case. `id` may be any value; ids
+  /// below 0 return the first member.
+  TorId next_member_after(TorId id) const {
+    if (id < 0) return first_member();
+    const std::size_t start = static_cast<std::size_t>(id) + 1;
+    if (start >= static_cast<std::size_t>(capacity_)) return kInvalidTor;
+    std::size_t w = start / 64;
+    std::uint64_t word = words_[w] & ~((1ULL << (start % 64)) - 1);
+    while (true) {
+      if (word != 0) {
+        return static_cast<TorId>(w * 64 +
+                                  static_cast<std::size_t>(
+                                      std::countr_zero(word)));
+      }
+      if (++w == words_.size()) return kInvalidTor;
+      word = words_[w];
+    }
   }
 
  private:
   void grow_to(TorId id) {
     NEG_ASSERT(id >= 0, "negative id");
-    if (static_cast<std::size_t>(id) >= member_.size()) {
-      member_.resize(static_cast<std::size_t>(id) + 1, false);
+    if (id >= capacity_) {
+      capacity_ = id + 1;
+      words_.resize((static_cast<std::size_t>(capacity_) + 63) / 64, 0);
     }
   }
 
-  std::vector<bool> member_;
+  int capacity_{0};
+  std::vector<std::uint64_t> words_;
   std::vector<TorId> sorted_;
 };
 

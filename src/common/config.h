@@ -53,6 +53,8 @@ struct EpochConfig {
 
   /// Full length of one predefined-phase timeslot.
   Nanos predefined_slot_ns() const { return guardband_ns + predefined_data_ns; }
+
+  bool operator==(const EpochConfig&) const = default;
 };
 
 /// PIAS-style multi-level feedback queue settings (§3.4.2). With the
@@ -63,6 +65,8 @@ struct PiasConfig {
   Bytes first_threshold{1_KB};
   Bytes second_threshold{9_KB};
   static constexpr int kLevels = 3;
+
+  bool operator==(const PiasConfig&) const = default;
 };
 
 /// Knobs for the appendix design-space variants.
@@ -81,6 +85,8 @@ struct VariantConfig {
   /// kNegotiatorSelectiveRelay: a candidate intermediate is excluded when
   /// the direct traffic sharing its links exceeds this volume.
   Bytes relay_heavy_direct_threshold{64_KB};
+
+  bool operator==(const VariantConfig&) const = default;
 };
 
 /// Traffic management below the ToRs (§3.6.5): receiver-side buffering
@@ -94,6 +100,8 @@ struct HostPlaneConfig {
   Bytes rx_high_watermark{3'000'000};
   /// ...resume below this one.
   Bytes rx_low_watermark{1'500'000};
+
+  bool operator==(const HostPlaneConfig&) const = default;
 };
 
 /// Sirius-style traffic-oblivious baseline knobs.
@@ -105,6 +113,8 @@ struct ObliviousConfig {
   /// intermediate head-of-line blocking the paper attributes mice FCT
   /// damage to).
   Bytes relay_queue_capacity{8_MB};
+
+  bool operator==(const ObliviousConfig&) const = default;
 };
 
 /// Complete description of one simulated network.
@@ -159,6 +169,10 @@ struct NetworkConfig {
   int predefined_slots() const;
   /// Full epoch length (predefined + scheduled phase).
   Nanos epoch_length_ns() const;
+
+  /// Field-wise equality (used by the sweep engine's workload cache to
+  /// prove two points may share one generated trace).
+  bool operator==(const NetworkConfig&) const = default;
 
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;

@@ -33,6 +33,7 @@ NegotiatorScheduler::PairOut& NegotiatorScheduler::outbox(TorId from,
   PairOut& entry = out_[index];
   if (out_stamp_[index] != epoch_) {
     out_stamp_[index] = epoch_;
+    out_pairs_.emplace_back(from, to);
     entry.has_request = entry.has_accept = false;
     entry.grants.clear();
     entry.relay_requests.clear();
@@ -63,6 +64,7 @@ void NegotiatorScheduler::begin_epoch(std::int64_t epoch, Nanos now,
   epoch_ = epoch;
   now_ = now;
   matches_.clear();
+  out_pairs_.clear();
   epoch_grants_ = 0;
   epoch_accepts_ = 0;
 
@@ -78,7 +80,9 @@ void NegotiatorScheduler::compute_accepts(const DemandView& /*demand*/,
   const int ports = topo_.ports_per_tor();
   std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
   if (inbox_grants_.empty()) return;
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  // Dirty-set walk: only ToRs that actually received grants (ascending, so
+  // processing order matches the historical dense 0..N-1 scan).
+  for (const TorId s : inbox_grants_.owners()) {
     const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     for (PortId p = 0; p < ports; ++p) {
@@ -129,7 +133,8 @@ void NegotiatorScheduler::compute_grants(const DemandView& demand,
   const int ports = topo_.ports_per_tor();
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
   if (inbox_requests_.empty()) return;
-  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+  // Dirty-set walk: only ToRs with pending requests, ascending.
+  for (const TorId d : inbox_requests_.owners()) {
     const std::span<const RequestMsg> requests =
         inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
@@ -153,7 +158,10 @@ void NegotiatorScheduler::sample_requests(const DemandView& demand,
   const Bytes threshold = request_threshold_bytes();
   const bool want_delay =
       matching_.policy() == SelectionPolicy::kLongestDelay;
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  // Dirty-set walk: only ToRs with pending data anywhere; sources without
+  // demand have empty active-destination sets, so the visit set (and its
+  // ascending order) is identical to the dense scan's.
+  for (const TorId s : demand.active_sources()) {
     for (TorId d : demand.active_destinations(s)) {
       const Bytes pending = demand.pending_bytes(s, d);
       if (pending <= threshold) continue;

@@ -14,10 +14,26 @@
 // Variants override the protected hooks; the base class implements plain
 // NegotiaToR Matching with binary requests and, through the selection
 // policy, the A.2.3 informative-request variants.
+//
+// Dirty-set invariants (the sparse epoch pipeline): every per-epoch loop
+// here iterates a maintained set of ToRs with work, never 0..N-1 —
+//  - compute_accepts/compute_grants walk InboxArena::owners(), marked by
+//    deliver_pair's pushes and cleared by clear_inboxes();
+//  - sample_requests walks DemandView::active_sources(), marked by the
+//    fabric on the enqueue that fills a ToR's first queue and cleared on
+//    the dequeue that drains its last;
+//  - outbox() marks each written (from, to) pair once per epoch in
+//    out_pairs_ (cleared by begin_epoch), which the fabric's sparse
+//    predefined phase uses to visit only message-bearing connections.
+// All sets iterate in ascending ToR order, so the processing order — and
+// therefore the simulation output — is bit-identical to the historical
+// dense scans (tests/test_seed_equivalence.cpp pins this).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
@@ -70,6 +86,16 @@ class NegotiatorScheduler {
 
   /// Matching for this epoch's scheduled phase.
   const std::vector<Match>& matches() const { return matches_; }
+
+  /// Ordered pairs (from, to) that hold at least one outgoing message for
+  /// the current epoch — exactly the pairs whose out-stamp equals the
+  /// current epoch. The fabric's sparse predefined phase visits only these
+  /// connections (plus data-bearing pairs) instead of scanning all N^2.
+  /// Dirty-set invariant: outbox() marks a pair the first time it is
+  /// written in an epoch; begin_epoch() clears the list.
+  std::span<const std::pair<TorId, TorId>> epoch_out_pairs() const {
+    return out_pairs_;
+  }
 
   /// Grants issued / matches accepted this epoch (Fig. 14 match ratio;
   /// accepts at epoch e answer the grants of epoch e-1).
@@ -126,6 +152,7 @@ class NegotiatorScheduler {
 
   std::vector<PairOut> out_;                  // N*N
   std::vector<std::int64_t> out_stamp_;       // N*N, epoch of last write
+  std::vector<std::pair<TorId, TorId>> out_pairs_;  // pairs stamped this epoch
   // Per-epoch message arenas (one flat buffer each, O(1) clear; see
   // core/inbox.h). Owners: requests/accepts by destination, grants by the
   // granted source.

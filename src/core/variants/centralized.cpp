@@ -61,7 +61,7 @@ void CentralizedScheduler::begin_epoch(std::int64_t epoch, Nanos now,
   // delay as the distributed pipeline.
   std::vector<std::pair<TorId, TorId>> snapshot;
   const Bytes threshold = request_threshold_bytes();
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : demand.active_sources()) {
     for (TorId d : demand.active_destinations(s)) {
       if (demand.pending_bytes(s, d) > threshold && !demand.rx_paused(d)) {
         snapshot.emplace_back(s, d);

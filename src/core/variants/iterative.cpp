@@ -1,5 +1,7 @@
 #include "core/variants/iterative.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace negotiator {
@@ -27,8 +29,11 @@ bool IterativeScheduler::pair_has_free_tx(const Process& p, TorId src,
 void IterativeScheduler::stage_request(Process& p, int round,
                                        const DemandView& demand) {
   const Bytes threshold = request_threshold_bytes();
-  for (auto& v : p.requests_by_dst) v.clear();
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId d : p.request_dsts) {
+    p.requests_by_dst[static_cast<std::size_t>(d)].clear();
+  }
+  p.request_dsts.clear();
+  for (const TorId s : demand.active_sources()) {
     for (TorId d : demand.active_destinations(s)) {
       if (demand.pending_bytes(s, d) <= threshold) continue;
       // Later rounds only re-request where an unmatched tx port remains
@@ -36,16 +41,22 @@ void IterativeScheduler::stage_request(Process& p, int round,
       if (round > 0 && !pair_has_free_tx(p, s, d)) continue;
       RequestMsg r;
       r.src = s;
-      p.requests_by_dst[static_cast<std::size_t>(d)].push_back(r);
+      auto& inbox = p.requests_by_dst[static_cast<std::size_t>(d)];
+      if (inbox.empty()) p.request_dsts.push_back(d);
+      inbox.push_back(r);
     }
   }
+  std::sort(p.request_dsts.begin(), p.request_dsts.end());
 }
 
 void IterativeScheduler::stage_grant(Process& p, const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
-  for (auto& v : p.grants_by_src) v.clear();
+  for (const TorId s : p.grant_srcs) {
+    p.grants_by_src[static_cast<std::size_t>(s)].clear();
+  }
+  p.grant_srcs.clear();
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
-  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+  for (const TorId d : p.request_dsts) {
     const auto& requests = p.requests_by_dst[static_cast<std::size_t>(d)];
     if (requests.empty()) continue;
     for (PortId q = 0; q < ports; ++q) {
@@ -57,15 +68,18 @@ void IterativeScheduler::stage_grant(Process& p, const FaultPlane& faults) {
         matching_.grant(d, requests, rx_eligible, epoch_capacity_bytes());
     epoch_grants_ += result.grants.size();
     for (auto& [src, g] : result.grants) {
-      p.grants_by_src[static_cast<std::size_t>(src)].push_back(g);
+      auto& inbox = p.grants_by_src[static_cast<std::size_t>(src)];
+      if (inbox.empty()) p.grant_srcs.push_back(src);
+      inbox.push_back(g);
     }
   }
+  std::sort(p.grant_srcs.begin(), p.grant_srcs.end());
 }
 
 void IterativeScheduler::stage_accept(Process& p, const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
   std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : p.grant_srcs) {
     const auto& grants = p.grants_by_src[static_cast<std::size_t>(s)];
     if (grants.empty()) continue;
     for (PortId q = 0; q < ports; ++q) {

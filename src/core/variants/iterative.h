@@ -36,6 +36,13 @@ class IterativeScheduler final : public NegotiatorScheduler {
     std::vector<bool> rx_used;
     std::vector<std::vector<RequestMsg>> requests_by_dst;
     std::vector<std::vector<GrantMsg>> grants_by_src;
+    // Dirty sets for the stage loops: destinations holding requests /
+    // sources holding grants this round, kept sorted ascending so the
+    // stage order matches the historical dense 0..N-1 scans. The owning
+    // stage clears the previous round's vectors through these lists
+    // (O(active), not O(N)).
+    std::vector<TorId> request_dsts;
+    std::vector<TorId> grant_srcs;
   };
 
   void stage_request(Process& p, int round, const DemandView& demand);

@@ -15,7 +15,7 @@ void ProjectorScheduler::sample_requests(const DemandView& demand,
                                          const FaultPlane& faults) {
   const Bytes threshold = request_threshold_bytes();
   const int ports = topo_.ports_per_tor();
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : demand.active_sources()) {
     for (TorId d : demand.active_destinations(s)) {
       if (demand.pending_bytes(s, d) <= threshold) continue;
       // Pre-bind the tx port: pinned on thin-clos, rotating otherwise.
@@ -45,7 +45,7 @@ void ProjectorScheduler::compute_grants(const DemandView& /*demand*/,
                                         const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
   if (inbox_requests_.empty()) return;
-  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+  for (const TorId d : inbox_requests_.owners()) {
     const std::span<const RequestMsg> requests =
         inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
@@ -77,7 +77,7 @@ void ProjectorScheduler::compute_accepts(const DemandView& /*demand*/,
                                          const FaultPlane& faults) {
   const int ports = topo_.ports_per_tor();
   if (inbox_grants_.empty()) return;
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : inbox_grants_.owners()) {
     const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     for (PortId p = 0; p < ports; ++p) {

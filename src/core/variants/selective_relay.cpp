@@ -36,7 +36,7 @@ void SelectiveRelayScheduler::sample_requests(const DemandView& demand,
 
   // 2. Second-hop requests: an intermediate with relayed bytes parked for
   //    some final destination asks that destination for a connection.
-  for (TorId m = 0; m < topo_.num_tors(); ++m) {
+  for (const TorId m : demand.relay_active_sources()) {
     for (TorId d : demand.relay_active_destinations(m)) {
       if (d == m) continue;
       PairOut& entry = outbox(m, d);
@@ -51,7 +51,7 @@ void SelectiveRelayScheduler::sample_requests(const DemandView& demand,
   }
 
   // 3. Relay-establishment requests for heavy elephant backlogs.
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : demand.active_sources()) {
     // Per-port direct load, used to exclude intermediates whose shared
     // link already carries high-volume direct traffic (Fig. 16).
     std::vector<Bytes> port_load(static_cast<std::size_t>(ports));
@@ -111,7 +111,7 @@ void SelectiveRelayScheduler::compute_grants(const DemandView& demand,
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
   std::vector<RequestMsg> direct;
   if (inbox_requests_.empty()) return;
-  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+  for (const TorId d : inbox_requests_.owners()) {
     const std::span<const RequestMsg> requests =
         inbox_requests_.for_owner(d);
     if (requests.empty()) continue;
@@ -166,7 +166,7 @@ void SelectiveRelayScheduler::compute_accepts(const DemandView& /*demand*/,
   std::vector<bool> tx_eligible(static_cast<std::size_t>(ports));
   std::vector<GrantMsg> direct;
   if (inbox_grants_.empty()) return;
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : inbox_grants_.owners()) {
     const std::span<const GrantMsg> grants = inbox_grants_.for_owner(s);
     if (grants.empty()) continue;
     direct.clear();

@@ -25,7 +25,7 @@ Bytes StatefulScheduler::matrix_entry(TorId dst, TorId src) const {
 void StatefulScheduler::sample_requests(const DemandView& demand,
                                         const FaultPlane& /*faults*/) {
   const Bytes threshold = request_threshold_bytes();
-  for (TorId s = 0; s < topo_.num_tors(); ++s) {
+  for (const TorId s : demand.active_sources()) {
     for (TorId d : demand.active_destinations(s)) {
       const Bytes pending = demand.pending_bytes(s, d);
       if (pending <= threshold) continue;
@@ -50,7 +50,7 @@ void StatefulScheduler::compute_grants(const DemandView& /*demand*/,
   std::vector<bool> rx_eligible(static_cast<std::size_t>(ports));
   std::vector<RequestMsg> eligible_requests;
   if (inbox_requests_.empty()) return;
-  for (TorId d = 0; d < topo_.num_tors(); ++d) {
+  for (const TorId d : inbox_requests_.owners()) {
     const std::span<const RequestMsg> requests =
         inbox_requests_.for_owner(d);
     if (requests.empty()) continue;

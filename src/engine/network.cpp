@@ -52,7 +52,14 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
       links_(config.num_tors, config.ports_per_tor),
       faults_(config.num_tors, config.ports_per_tor),
       arrived_(static_cast<std::size_t>(config.num_tors) * config.num_tors,
-               0) {
+               0),
+      predef_buckets_(static_cast<std::size_t>(schedule_.slots())),
+      predef_gather_stamp_(
+          static_cast<std::size_t>(config.num_tors) * config.num_tors, -1),
+      dropped_heads_(static_cast<std::size_t>(config.num_tors), -1),
+      dropped_stamp_(static_cast<std::size_t>(config.num_tors), -1),
+      active_sources_(config.num_tors),
+      relay_active_(config.num_tors) {
   config_.validate();
   Rng rng(config_.seed);
   tors_.reserve(static_cast<std::size_t>(config_.num_tors));
@@ -100,8 +107,35 @@ void NegotiatorFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
   Flow queued = f;
   queued.id = e.flow_index;
   tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, now);
+  active_sources_.insert(f.src);
   arrived_[static_cast<std::size_t>(f.src) * config_.num_tors + f.dst] +=
       f.size;
+  // A flow landing mid-predefined-phase can piggyback on its pair's
+  // not-yet-passed connection(s) this very epoch, exactly like the dense
+  // scan would have picked it up.
+  if (in_predefined_phase_ && config_.piggyback) {
+    gather_predefined_pair(f.src, f.dst);
+  }
+  // A flow landing mid-scheduled-phase refills its pair's queue:
+  // reactivate any matches for (src, dst) that were dropped as drained.
+  // Sorted reinsertion keeps live_matches_ ascending, i.e. the dense visit
+  // order.
+  if (in_scheduled_phase_ &&
+      dropped_stamp_[static_cast<std::size_t>(f.src)] == epoch_) {
+    std::int32_t* link = &dropped_heads_[static_cast<std::size_t>(f.src)];
+    while (*link >= 0) {
+      const std::int32_t index = *link;
+      if (sched_matches_[static_cast<std::size_t>(index)].m.dst == f.dst) {
+        *link = dropped_next_[static_cast<std::size_t>(index)];
+        live_matches_.insert(
+            std::lower_bound(live_matches_.begin(), live_matches_.end(),
+                             index),
+            index);
+      } else {
+        link = &dropped_next_[static_cast<std::size_t>(index)];
+      }
+    }
+  }
 }
 
 void NegotiatorFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
@@ -118,6 +152,7 @@ void NegotiatorFabric::on_relay_handoff(const RelayHandoffEvent& e,
   relay_[static_cast<std::size_t>(e.intermediate)].enqueue(e.final_dst,
                                                            e.flow, e.bytes,
                                                            now);
+  relay_active_.insert(e.intermediate);
 }
 
 void NegotiatorFabric::add_flow(const Flow& flow) {
@@ -174,37 +209,96 @@ void NegotiatorFabric::run_epoch() {
   ++epoch_;
 }
 
-void NegotiatorFabric::rebuild_predefined_table(int rotation) {
-  // The table only depends on the rotation modulo the schedule's cycle, so
-  // a non-rotating config builds it exactly once.
-  if (rotation == predef_table_rotation_) return;
-  predef_table_rotation_ = rotation;
-  const int slots = timing_.predefined_slots();
+NegotiatorFabric::PredefConn NegotiatorFabric::resolve_predef_conn(
+    TorId src, PortId tx, TorId dst) const {
+  const PortId rx =
+      rx_port_table_[static_cast<std::size_t>(src) * config_.ports_per_tor +
+                     tx];
+  return PredefConn{src,
+                    tx,
+                    dst,
+                    rx,
+                    static_cast<std::uint32_t>(
+                        links_.raw_index(src, tx, LinkDirection::kEgress)),
+                    static_cast<std::uint32_t>(
+                        links_.raw_index(dst, rx, LinkDirection::kIngress))};
+}
+
+void NegotiatorFabric::gather_predefined_pair(TorId src, TorId dst) {
+  const std::size_t index =
+      static_cast<std::size_t>(src) * config_.num_tors + dst;
+  if (predef_gather_stamp_[index] == epoch_) return;  // already bucketed
+  predef_gather_stamp_[index] = epoch_;
+  pair_conn_scratch_.clear();
+  schedule_.pair_connections(src, dst, predef_rotation_, pair_conn_scratch_);
+  for (const PredefinedSchedule::Connection& conn : pair_conn_scratch_) {
+    if (conn.slot < predef_cursor_) continue;  // this slot already ran
+    const PredefConn c = resolve_predef_conn(src, conn.tx_port, dst);
+    auto& bucket = predef_buckets_[static_cast<std::size_t>(conn.slot)];
+    // Keep the bucket sorted by (src, tx) — the dense scan's visit order.
+    // Epoch-start gathering appends mostly in order; mid-phase arrivals
+    // insert in place (rare).
+    const auto pos = std::upper_bound(
+        bucket.begin(), bucket.end(), c,
+        [](const PredefConn& a, const PredefConn& b) {
+          if (a.src != b.src) return a.src < b.src;
+          return a.tx < b.tx;
+        });
+    bucket.insert(pos, c);
+  }
+}
+
+void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
+                                             bool healthy, Nanos data_end) {
+  bool up = true;
+  if (!healthy) {
+    up = links_.up_raw(c.tx_link) && links_.up_raw(c.rx_link);
+  }
+  scheduler_->deliver_pair(c.src, c.dst, up);
+  if (!healthy) {
+    faults_.observe_ingress(c.dst, c.rx, up);
+    faults_.observe_egress(c.src, c.tx, up);
+  }
+  // Bitmap membership == "queue non-empty": one bit read instead of a
+  // pointer chase into the per-destination queue.
+  TorSwitch& tor = tors_[static_cast<std::size_t>(c.src)];
+  if (!config_.piggyback || !tor.active_destinations().contains(c.dst)) {
+    return;
+  }
+  if (host_plane_ && pause_advertised_[static_cast<std::size_t>(c.dst)]) {
+    return;  // §3.6.5: withhold data towards a paused receiver
+  }
+  if (up) {
+    auto pkt = tor.dequeue_packet(c.dst, config_.piggyback_payload_bytes());
+    NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
+    ++piggyback_packets_;
+    sync_source_activity(c.src);
+    deliver_direct(static_cast<int>(pkt->flow), c.dst, pkt->bytes,
+                   data_end + config_.propagation_delay_ns);
+  } else if (!faults_.tx_excluded(c.src, c.tx) &&
+             !faults_.rx_excluded(c.dst, c.rx)) {
+    // Undetected failure: the packet is transmitted into a dark fibre
+    // and retransmitted by the upper layer — model as a wasted slot
+    // with the bytes back at the queue head.
+    auto pkt = tor.dequeue_packet(c.dst, config_.piggyback_payload_bytes());
+    if (pkt) tor.requeue_front(c.dst, *pkt);
+  }
+}
+
+void NegotiatorFabric::run_predefined_slot_dense(int slot, Nanos data_end) {
+  // Unhealthy slot: the fault detector must observe every connection, so
+  // resolve the full N×P slot on the fly (this path only runs while links
+  // are down or the fault plane is settling).
   const int n = config_.num_tors;
   const int ports = config_.ports_per_tor;
-  predef_conns_.clear();
-  predef_conns_.reserve(static_cast<std::size_t>(slots) * n * ports);
-  predef_slot_begin_.assign(static_cast<std::size_t>(slots) + 1, 0);
-  for (int slot = 0; slot < slots; ++slot) {
-    predef_slot_begin_[static_cast<std::size_t>(slot)] =
-        static_cast<std::int32_t>(predef_conns_.size());
-    for (TorId s = 0; s < n; ++s) {
-      for (PortId p = 0; p < ports; ++p) {
-        const TorId d = schedule_.dst_of(s, p, slot, rotation);
-        if (d == kInvalidTor) continue;
-        const PortId rx =
-            rx_port_table_[static_cast<std::size_t>(s) * ports + p];
-        predef_conns_.push_back(PredefConn{
-            s, p, d, rx,
-            static_cast<std::uint32_t>(
-                links_.raw_index(s, p, LinkDirection::kEgress)),
-            static_cast<std::uint32_t>(
-                links_.raw_index(d, rx, LinkDirection::kIngress))});
-      }
+  for (TorId s = 0; s < n; ++s) {
+    for (PortId p = 0; p < ports; ++p) {
+      const TorId d = schedule_.dst_of(s, p, slot, predef_rotation_);
+      if (d == kInvalidTor) continue;
+      visit_predefined_conn(resolve_predef_conn(s, p, d), /*healthy=*/false,
+                            data_end);
     }
   }
-  predef_slot_begin_[static_cast<std::size_t>(slots)] =
-      static_cast<std::int32_t>(predef_conns_.size());
 }
 
 void NegotiatorFabric::run_predefined_phase() {
@@ -214,16 +308,30 @@ void NegotiatorFabric::run_predefined_phase() {
   // moves every pair to a different link every epoch (§3.6.1: "a pair of
   // ToRs [exchanges] scheduling messages through multiple port-to-port
   // links ... in subsequent epochs").
-  const int rotation =
+  predef_rotation_ =
       config_.rotate_predefined_rule
           ? static_cast<int>((epoch_ * 17) & 0x3fffffff)
           : 0;
-  rebuild_predefined_table(rotation);
-  const Bytes payload = config_.piggyback_payload_bytes();
-  const Nanos prop = config_.propagation_delay_ns;
-  const bool piggyback = config_.piggyback;
-  NegotiatorScheduler* const scheduler = scheduler_.get();
+
+  // Gather the epoch's interesting pairs: control messages first, then
+  // piggyback-data pairs. Cost is O(messages + active pairs), not O(N^2).
+  predef_cursor_ = 0;
+  in_predefined_phase_ = true;
+  for (auto& bucket : predef_buckets_) bucket.clear();
+  for (const auto& [from, to] : scheduler_->epoch_out_pairs()) {
+    gather_predefined_pair(from, to);
+  }
+  if (config_.piggyback) {
+    for (const TorId s : active_sources_) {
+      const TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
+      for (const TorId d : tor.active_destinations()) {
+        gather_predefined_pair(s, d);
+      }
+    }
+  }
+
   for (int slot = 0; slot < timing_.predefined_slots(); ++slot) {
+    predef_cursor_ = slot;
     sim_.advance_to(timing_.predefined_slot_start(epoch_, slot));
     const Nanos data_end = timing_.predefined_slot_data_end(epoch_, slot);
     // A slot's link events fired during advance_to, so health is stable
@@ -231,104 +339,99 @@ void NegotiatorFabric::run_predefined_phase() {
     // per-pair health reads and all-healthy observations are skipped (see
     // FaultPlane::quiescent()).
     const bool healthy = links_.all_up() && faults_.quiescent();
-    const PredefConn* const first =
-        predef_conns_.data() + predef_slot_begin_[static_cast<std::size_t>(slot)];
-    const PredefConn* const last =
-        predef_conns_.data() +
-        predef_slot_begin_[static_cast<std::size_t>(slot) + 1];
-    for (const PredefConn* c = first; c != last; ++c) {
-      bool up = true;
-      if (!healthy) {
-        up = links_.up_raw(c->tx_link) && links_.up_raw(c->rx_link);
-      }
-      scheduler->deliver_pair(c->src, c->dst, up);
-      if (!healthy) {
-        faults_.observe_ingress(c->dst, c->rx, up);
-        faults_.observe_egress(c->src, c->tx, up);
-      }
-      // Bitmap membership == "queue non-empty": one bit read instead of a
-      // pointer chase into the per-destination queue.
-      TorSwitch& tor = tors_[static_cast<std::size_t>(c->src)];
-      if (!piggyback || !tor.active_destinations().contains(c->dst)) {
-        continue;
-      }
-      if (host_plane_ &&
-          pause_advertised_[static_cast<std::size_t>(c->dst)]) {
-        continue;  // §3.6.5: withhold data towards a paused receiver
-      }
-      if (up) {
-        auto pkt = tor.dequeue_packet(c->dst, payload);
-        NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
-        ++piggyback_packets_;
-        deliver_direct(static_cast<int>(pkt->flow), c->dst, pkt->bytes,
-                       data_end + prop);
-      } else if (!faults_.tx_excluded(c->src, c->tx) &&
-                 !faults_.rx_excluded(c->dst, c->rx)) {
-        // Undetected failure: the packet is transmitted into a dark fibre
-        // and retransmitted by the upper layer — model as a wasted slot
-        // with the bytes back at the queue head.
-        auto pkt = tor.dequeue_packet(c->dst, payload);
-        if (pkt) tor.requeue_front(c->dst, *pkt);
-      }
+    if (!healthy) {
+      run_predefined_slot_dense(slot, data_end);
+      continue;
+    }
+    for (const PredefConn& c :
+         predef_buckets_[static_cast<std::size_t>(slot)]) {
+      visit_predefined_conn(c, /*healthy=*/true, data_end);
     }
   }
+  in_predefined_phase_ = false;
 }
 
 void NegotiatorFabric::run_scheduled_phase() {
   const Bytes payload = config_.scheduled_payload_bytes();
   const Nanos prop = config_.propagation_delay_ns;
 
-  struct Active {
-    Match m;
-    Bytes relay_remaining;
-    std::uint32_t tx_link;  // LinkState raw index, egress
-    std::uint32_t rx_link;  // LinkState raw index, ingress
-  };
-  std::vector<Active> active;
-  active.reserve(scheduler_->matches().size());
+  sched_matches_.clear();
+  sched_matches_.reserve(scheduler_->matches().size());
   for (const Match& m : scheduler_->matches()) {
-    active.push_back(Active{
+    sched_matches_.push_back(ActiveMatch{
         m, m.relay ? m.relay_volume : 0,
         static_cast<std::uint32_t>(
             links_.raw_index(m.src, m.tx_port, LinkDirection::kEgress)),
         static_cast<std::uint32_t>(
             links_.raw_index(m.dst, m.rx_port, LinkDirection::kIngress))});
   }
-  total_matches_ += static_cast<std::int64_t>(active.size());
-  match_slots_offered_ += static_cast<std::int64_t>(active.size()) *
+  total_matches_ += static_cast<std::int64_t>(sched_matches_.size());
+  match_slots_offered_ += static_cast<std::int64_t>(sched_matches_.size()) *
                           timing_.scheduled_slots();
+
+  live_matches_.resize(sched_matches_.size());
+  for (std::size_t i = 0; i < live_matches_.size(); ++i) {
+    live_matches_[i] = static_cast<std::int32_t>(i);
+  }
+  dropped_next_.assign(sched_matches_.size(), -1);
+  // Relay matches (and relay-enabled fabrics generally) are never dropped:
+  // parked second-hop data refills without a flow arrival, so the
+  // reactivation hook would miss them.
+  const bool may_drop = !relay_enabled_;
+  in_scheduled_phase_ = true;
 
   for (int slot = 0; slot < timing_.scheduled_slots(); ++slot) {
     sim_.advance_to(timing_.scheduled_slot_start(epoch_, slot));
     const Nanos arrival = timing_.scheduled_slot_end(epoch_, slot) + prop;
     const bool healthy = links_.all_up();
-    for (Active& a : active) {
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < live_matches_.size(); ++r) {
+      const std::int32_t index = live_matches_[r];
+      ActiveMatch& a = sched_matches_[static_cast<std::size_t>(index)];
       const Match& m = a.m;
       TorSwitch& tor = tors_[static_cast<std::size_t>(m.src)];
       if (!healthy &&
           !(links_.up_raw(a.tx_link) && links_.up_raw(a.rx_link))) {
+        live_matches_[keep++] = index;
         continue;
       }
       // 1. Direct data for the matched destination. The pending check is a
       // plain counter read — most slots of an over-scheduled match find a
-      // drained queue (§3.5), and skipping the dequeue call is the hot
-      // path's biggest saving.
+      // drained queue (§3.5); such matches are dropped from the live list
+      // until an arrival for their pair reactivates them.
       if (tor.active_destinations().contains(m.dst)) {
         auto pkt = tor.dequeue_packet(m.dst, payload);
         NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
         ++match_slots_used_;
+        sync_source_activity(m.src);
         deliver_direct(static_cast<int>(pkt->flow), m.dst, pkt->bytes,
                        arrival);
+        live_matches_[keep++] = index;
+        continue;
+      }
+      if (may_drop) {
+        // Park the match on its source's dropped chain; the arrival hook
+        // restores it (at its original position) if the pair refills.
+        auto& stamp = dropped_stamp_[static_cast<std::size_t>(m.src)];
+        auto& head = dropped_heads_[static_cast<std::size_t>(m.src)];
+        if (stamp != epoch_) {
+          stamp = epoch_;
+          head = -1;
+        }
+        dropped_next_[static_cast<std::size_t>(index)] = head;
+        head = index;
         continue;
       }
       // 2. Second-hop relayed data parked at this ToR for the destination.
-      if (relay_enabled_) {
+      {
         RelayQueueSet& parked = relay_[static_cast<std::size_t>(m.src)];
         if (parked.bytes_for(m.dst) > 0) {
           auto chunk = parked.dequeue_packet(m.dst, payload);
           NEG_ASSERT(chunk.has_value(), "pending relay yielded no chunk");
+          sync_relay_activity(m.src);
           deliver_direct(static_cast<int>(chunk->flow), m.dst, chunk->bytes,
                          arrival);
+          live_matches_[keep++] = index;
           continue;
         }
       }
@@ -337,6 +440,7 @@ void NegotiatorFabric::run_scheduled_phase() {
         const Bytes cap = std::min(payload, a.relay_remaining);
         if (auto pkt = tor.dequeue_elephant_packet(m.relay_final_dst, cap)) {
           a.relay_remaining -= pkt->bytes;
+          sync_source_activity(m.src);
           goodput_.record_relay_reception(m.dst, pkt->bytes, arrival);
           // The chunk lands in the intermediate's relay queue after the
           // propagation delay — a typed event, no closure allocation.
@@ -347,8 +451,11 @@ void NegotiatorFabric::run_scheduled_phase() {
       }
       // Otherwise the link idles this slot: the cost of stateless
       // scheduling when the queue emptied before the accept (§3.5).
+      live_matches_[keep++] = index;
     }
+    live_matches_.resize(keep);
   }
+  in_scheduled_phase_ = false;
 }
 
 Bytes NegotiatorFabric::total_backlog() const {
@@ -398,19 +505,23 @@ Bytes NegotiatorFabric::relay_queue_total(TorId tor) const {
   return relay_[static_cast<std::size_t>(tor)].total_bytes();
 }
 
-std::vector<TorId> NegotiatorFabric::relay_active_destinations(
+const ActiveSet& NegotiatorFabric::relay_active_destinations(
     TorId tor) const {
-  std::vector<TorId> out;
-  if (!relay_enabled_) return out;
-  const RelayQueueSet& r = relay_[static_cast<std::size_t>(tor)];
-  for (TorId d = 0; d < config_.num_tors; ++d) {
-    if (r.bytes_for(d) > 0) out.push_back(d);
-  }
-  return out;
+  static const ActiveSet kEmpty;
+  if (!relay_enabled_) return kEmpty;
+  return relay_[static_cast<std::size_t>(tor)].active_destinations();
+}
+
+const ActiveSet& NegotiatorFabric::relay_active_sources() const {
+  return relay_active_;
 }
 
 const ActiveSet& NegotiatorFabric::active_destinations(TorId src) const {
   return tors_[static_cast<std::size_t>(src)].active_destinations();
+}
+
+const ActiveSet& NegotiatorFabric::active_sources() const {
+  return active_sources_;
 }
 
 bool NegotiatorFabric::rx_paused(TorId tor) const {

@@ -119,8 +119,10 @@ class NegotiatorFabric final : public FabricSim,
   Bytes cumulative_arrived(TorId src, TorId dst) const override;
   Bytes relay_pending(TorId tor, TorId final_dst) const override;
   Bytes relay_queue_total(TorId tor) const override;
-  std::vector<TorId> relay_active_destinations(TorId tor) const override;
+  const ActiveSet& relay_active_destinations(TorId tor) const override;
+  const ActiveSet& relay_active_sources() const override;
   const ActiveSet& active_destinations(TorId src) const override;
+  const ActiveSet& active_sources() const override;
   bool rx_paused(TorId tor) const override;
 
   /// §3.6.5 host plane, when enabled in the config (else nullptr).
@@ -146,8 +148,25 @@ class NegotiatorFabric final : public FabricSim,
   void run_epoch();
   void run_predefined_phase();
   void run_scheduled_phase();
-  void rebuild_predefined_table(int rotation);
   void deliver_direct(int flow_index, TorId dst, Bytes bytes, Nanos arrival);
+
+  /// Maintains active_sources_ / relay_active_ after a queue mutation at
+  /// `tor` (dirty-set invariant: the fabric marks on fill, clears on
+  /// drain; schedulers only read).
+  void sync_source_activity(TorId tor) {
+    if (tors_[static_cast<std::size_t>(tor)].active_destinations().empty()) {
+      active_sources_.erase(tor);
+    } else {
+      active_sources_.insert(tor);
+    }
+  }
+  void sync_relay_activity(TorId tor) {
+    if (relay_[static_cast<std::size_t>(tor)].total_bytes() > 0) {
+      relay_active_.insert(tor);
+    } else {
+      relay_active_.erase(tor);
+    }
+  }
 
   NetworkConfig config_;
   std::unique_ptr<FlatTopology> topo_;
@@ -176,9 +195,9 @@ class NegotiatorFabric final : public FabricSim,
   /// phase; refreshed once per epoch.
   std::vector<bool> pause_advertised_;
 
-  /// One live predefined-phase connection, fully resolved: the slots×N×P
-  /// loop reads these flat records instead of re-deriving dst/rx/link
-  /// health indices through virtual calls every slot.
+  /// One live predefined-phase connection, fully resolved, so the slot
+  /// loop reads flat records instead of re-deriving dst/rx/link health
+  /// indices through virtual calls.
   struct PredefConn {
     TorId src;
     PortId tx;
@@ -187,14 +206,76 @@ class NegotiatorFabric final : public FabricSim,
     std::uint32_t tx_link;  // LinkState raw index, egress at (src, tx)
     std::uint32_t rx_link;  // LinkState raw index, ingress at (dst, rx)
   };
-  std::vector<PredefConn> predef_conns_;        // grouped by slot
-  std::vector<std::int32_t> predef_slot_begin_;  // slots + 1 offsets
-  /// Rotation value the table was built for; -1 forces the first build.
-  int predef_table_rotation_{-1};
+
+  // --- Sparse predefined phase (the demand-driven epoch pipeline) ---
+  //
+  // Instead of scanning all slots×N×P connections (O(N^2) per epoch), each
+  // epoch gathers only the *interesting* pairs — pairs with outgoing
+  // control messages (scheduler_->epoch_out_pairs()) plus pairs with
+  // piggyback data (active_sources_ × their active destinations) — and
+  // resolves each pair's connection(s) under this epoch's rotation via
+  // PredefinedSchedule::pair_connections, bucketed per slot and sorted by
+  // (src, tx) so the visit order matches the dense scan exactly.
+  //
+  // Dirty-set invariants:
+  //  - who marks: gather_predefined_pair() (at epoch start, and from
+  //    on_flow_arrival for flows landing mid-phase), stamped once per pair
+  //    per epoch in predef_gather_stamp_;
+  //  - who clears: run_predefined_phase() resets the buckets each epoch;
+  //  - a slot whose links are unhealthy falls back to the dense scan so
+  //    the fault detector still observes every connection.
+
+  /// Resolves one predefined connection's rx port and link indices — the
+  /// single definition the sparse gather and the dense fallback share.
+  PredefConn resolve_predef_conn(TorId src, PortId tx, TorId dst) const;
+  /// Adds pair (src, dst)'s connections for the current epoch/rotation to
+  /// the per-slot buckets (only slots still ahead of the cursor).
+  void gather_predefined_pair(TorId src, TorId dst);
+  /// Dense fallback for one slot: visits all N×P connections (unhealthy
+  /// slots, where every link must be observed).
+  void run_predefined_slot_dense(int slot, Nanos data_end);
+  /// Visits one resolved connection (shared by sparse and dense paths).
+  void visit_predefined_conn(const PredefConn& c, bool healthy,
+                             Nanos data_end);
+
+  std::vector<std::vector<PredefConn>> predef_buckets_;  // one per slot
+  std::vector<std::int64_t> predef_gather_stamp_;  // [src*N+dst] -> epoch
+  int predef_rotation_{0};        // rotation of the epoch being gathered
+  int predef_cursor_{0};          // slot currently being processed
+  bool in_predefined_phase_{false};
+  std::vector<PredefinedSchedule::Connection> pair_conn_scratch_;
+
+  // --- Scheduled-phase live-match list ---
+  //
+  // An over-scheduled match spends most of its 30 slots with a drained
+  // queue (§3.5). Instead of re-checking every match every slot, the phase
+  // iterates a compact ascending index list of *live* matches; a match
+  // whose queue is found empty is dropped from the list and reactivated —
+  // at its original position, preserving the dense visit order exactly —
+  // only when a flow for its (src, dst) pair arrives mid-phase. Only the
+  // plain-negotiator path drops (relay matches and relay-enabled fabrics
+  // keep full iteration: their other data sources refill invisibly).
+  struct ActiveMatch {
+    Match m;
+    Bytes relay_remaining;
+    std::uint32_t tx_link;  // LinkState raw index, egress
+    std::uint32_t rx_link;  // LinkState raw index, ingress
+  };
+  std::vector<ActiveMatch> sched_matches_;     // this epoch's matches
+  bool in_scheduled_phase_{false};
+  std::vector<std::int32_t> live_matches_;     // ascending indices, compacted
+  std::vector<std::int32_t> dropped_heads_;    // [src] -> chain head
+  std::vector<std::int64_t> dropped_stamp_;    // [src] -> epoch of that head
+  std::vector<std::int32_t> dropped_next_;     // [match index] -> next in chain
+
   /// rx port of a transmission leaving (src, tx) — destination-independent
   /// in both topologies, precomputed once. kInvalidPort for a port that
   /// reaches no one (thin-clos self block of size 1).
   std::vector<PortId> rx_port_table_;  // [src * ports_per_tor + tx]
+
+  /// Dirty sets of ToRs with pending direct data / parked relay bytes.
+  ActiveSet active_sources_;
+  ActiveSet relay_active_;
 };
 
 /// Builds the fabric matching `config.scheduler` (NegotiaToR family or the

@@ -15,9 +15,12 @@ ObliviousFabric::ObliviousFabric(const NetworkConfig& config,
              config.epoch.guardband_ns + config.epoch.scheduled_slot_ns),
       goodput_(config.num_tors, stats_window_ns),
       links_(config.num_tors, config.ports_per_tor),
-      last_occupancy_(
+      spread_ptr_(static_cast<std::size_t>(config.num_tors), 0),
+      busy_(config.num_tors),
+      advertised_congested_(
           static_cast<std::size_t>(config.num_tors) * config.num_tors, 0),
-      spread_ptr_(static_cast<std::size_t>(config.num_tors), 0) {
+      peers_believe_congested_(static_cast<std::size_t>(config.num_tors),
+                               0) {
   config_.validate();
   tors_.reserve(static_cast<std::size_t>(config_.num_tors));
   relay_.reserve(static_cast<std::size_t>(config_.num_tors));
@@ -28,28 +31,25 @@ ObliviousFabric::ObliviousFabric(const NetworkConfig& config,
   sim_.set_sink(this);
 
   const int cycle = rotor_.cycle_slots();
-  slot_conns_.reserve(static_cast<std::size_t>(cycle) * config_.num_tors *
-                      config_.ports_per_tor);
-  slot_conn_begin_.assign(static_cast<std::size_t>(cycle) + 1, 0);
+  const int n = config_.num_tors;
+  const int ports = config_.ports_per_tor;
+  conn_table_.assign(static_cast<std::size_t>(cycle) * n * ports,
+                     SlotConn{kInvalidTor, kInvalidPort, 0, 0});
   for (int slot = 0; slot < cycle; ++slot) {
-    slot_conn_begin_[static_cast<std::size_t>(slot)] =
-        static_cast<std::int32_t>(slot_conns_.size());
-    for (TorId s = 0; s < config_.num_tors; ++s) {
-      for (PortId p = 0; p < config_.ports_per_tor; ++p) {
+    for (TorId s = 0; s < n; ++s) {
+      for (PortId p = 0; p < ports; ++p) {
         const TorId m = rotor_.dst_of(s, p, slot);
         if (m == kInvalidTor) continue;
         const PortId rx = topo_->rx_port(s, p, m);
-        slot_conns_.push_back(SlotConn{
-            s, p, m, rx,
-            static_cast<std::uint32_t>(
-                links_.raw_index(s, p, LinkDirection::kEgress)),
-            static_cast<std::uint32_t>(
-                links_.raw_index(m, rx, LinkDirection::kIngress))});
+        conn_table_[(static_cast<std::size_t>(slot) * n + s) * ports + p] =
+            SlotConn{m, rx,
+                     static_cast<std::uint32_t>(
+                         links_.raw_index(s, p, LinkDirection::kEgress)),
+                     static_cast<std::uint32_t>(
+                         links_.raw_index(m, rx, LinkDirection::kIngress))};
       }
     }
   }
-  slot_conn_begin_[static_cast<std::size_t>(cycle)] =
-      static_cast<std::int32_t>(slot_conns_.size());
 }
 
 void ObliviousFabric::add_flow(const Flow& flow) {
@@ -63,6 +63,7 @@ void ObliviousFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
   Flow queued = f;
   queued.id = e.flow_index;  // queues carry the dense index
   tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, now);
+  busy_.insert(f.src);
 }
 
 void ObliviousFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
@@ -78,6 +79,7 @@ void ObliviousFabric::on_relay_handoff(const RelayHandoffEvent& e,
   relay_[static_cast<std::size_t>(e.intermediate)].enqueue(e.final_dst,
                                                            e.flow, e.bytes,
                                                            now);
+  busy_.insert(e.intermediate);
 }
 
 void ObliviousFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
@@ -91,15 +93,16 @@ TorId ObliviousFabric::next_spread_dst(TorId src, TorId exclude) {
       tors_[static_cast<std::size_t>(src)].active_destinations();
   if (active.empty()) return kInvalidTor;
   TorId& ptr = spread_ptr_[static_cast<std::size_t>(src)];
-  auto it = active.upper_bound(ptr);
+  // Bitmap successor scan instead of a binary search over the sorted
+  // view: this runs once per potential spread, i.e. millions of times.
+  TorId d = active.next_member_after(ptr);
   for (std::size_t step = 0; step < active.size() + 1; ++step) {
-    if (it == active.end()) it = active.begin();
-    const TorId d = *it;
+    if (d == kInvalidTor) d = active.first_member();  // wrap around
     if (d != exclude) {
       ptr = d;
       return d;
     }
-    ++it;
+    d = active.next_member_after(d);
   }
   return kInvalidTor;
 }
@@ -110,60 +113,74 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
   const Nanos arrival = rotor_.slot_end(global_slot) +
                         config_.propagation_delay_ns;
   const int n = config_.num_tors;
+  const int ports = config_.ports_per_tor;
   const int slot = static_cast<int>(global_slot % rotor_.cycle_slots());
   const bool healthy = links_.all_up();
-  const SlotConn* const first =
-      slot_conns_.data() + slot_conn_begin_[static_cast<std::size_t>(slot)];
-  const SlotConn* const last =
-      slot_conns_.data() +
-      slot_conn_begin_[static_cast<std::size_t>(slot) + 1];
-  for (const SlotConn* c = first; c != last; ++c) {
-    const TorId s = c->src;
-    const TorId m = c->dst;
-    if (!healthy &&
-        !(links_.up_raw(c->tx_link) && links_.up_raw(c->rx_link))) {
-      continue;
-    }
+  // Snapshot the dirty set: sources can go quiet mid-slot (queues drain),
+  // and a conn of an already-quiet source replicates the dense scan's
+  // no-op exactly. Nothing can *join* mid-slot — arrivals fired during
+  // advance_to, and handoffs land after the slot ends. Ascending order ==
+  // the dense scan's (src, port) order restricted to the busy subset.
+  busy_scratch_.assign(busy_.begin(), busy_.end());
+  const SlotConn* const slot_base =
+      conn_table_.data() + static_cast<std::size_t>(slot) * n * ports;
+  for (const TorId s : busy_scratch_) {
     TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
     RelayQueueSet& parked = relay_[static_cast<std::size_t>(s)];
-    // The connection's framing advertises the sender's relay occupancy to
-    // the receiver (used to gate future spreading towards s).
-    last_occupancy_[static_cast<std::size_t>(m) * n + s] =
-        parked.total_bytes();
-    // 1. Second hop: deliver relayed data whose final destination is m.
-    if (parked.bytes_for(m) > 0) {
-      if (auto chunk = parked.dequeue_packet(m, payload)) {
-        flow_table_.credit(static_cast<int>(chunk->flow), chunk->bytes,
-                           arrival, fct_);
-        goodput_.record_delivery(m, chunk->bytes, arrival);
+    const SlotConn* const conns = slot_base + static_cast<std::size_t>(s) * ports;
+    for (PortId p = 0; p < ports; ++p) {
+      const SlotConn& c = conns[p];
+      const TorId m = c.dst;
+      if (m == kInvalidTor) continue;
+      if (!healthy &&
+          !(links_.up_raw(c.tx_link) && links_.up_raw(c.rx_link))) {
         continue;
       }
-    }
-    // 2. VLB spread: detour the next backlogged destination through m.
-    //    When the round-robin pointer lands on m itself the data goes
-    //    direct (the lucky 1/N case of uniform spreading).
-    // Congestion control: no spreading into a full intermediate buffer —
-    // the slot idles until m drains (pure VLB waits for credit; there is
-    // no adaptive fall-back to direct transmission in the baseline).
-    const bool room =
-        last_occupancy_[static_cast<std::size_t>(s) * n + m] <
-        config_.oblivious.relay_queue_capacity;
-    if (!room) continue;
-    const TorId d = next_spread_dst(s, kInvalidTor);
-    if (d == kInvalidTor) continue;
-    if (d == m) {
-      if (auto pkt = tor.dequeue_packet(m, payload)) {
-        flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes, arrival,
-                           fct_);
-        goodput_.record_delivery(m, pkt->bytes, arrival);
+      // The connection's framing advertises the sender's relay occupancy
+      // to the receiver (used to gate future spreading towards s). Only
+      // the congested boolean is observable through room checks.
+      const std::uint8_t cong = congested(s) ? 1 : 0;
+      auto& advert = advertised_congested_[static_cast<std::size_t>(m) * n + s];
+      if (advert != cong) {
+        advert = cong;
+        peers_believe_congested_[static_cast<std::size_t>(s)] +=
+            cong ? 1 : -1;
       }
-      continue;
+      // 1. Second hop: deliver relayed data whose final destination is m.
+      if (parked.bytes_for(m) > 0) {
+        if (auto chunk = parked.dequeue_packet(m, payload)) {
+          flow_table_.credit(static_cast<int>(chunk->flow), chunk->bytes,
+                             arrival, fct_);
+          goodput_.record_delivery(m, chunk->bytes, arrival);
+          continue;
+        }
+      }
+      // 2. VLB spread: detour the next backlogged destination through m.
+      //    When the round-robin pointer lands on m itself the data goes
+      //    direct (the lucky 1/N case of uniform spreading).
+      // Congestion control: no spreading into a full intermediate buffer —
+      // the slot idles until m drains (pure VLB waits for credit; there is
+      // no adaptive fall-back to direct transmission in the baseline).
+      const bool room =
+          advertised_congested_[static_cast<std::size_t>(s) * n + m] == 0;
+      if (!room) continue;
+      const TorId d = next_spread_dst(s, kInvalidTor);
+      if (d == kInvalidTor) continue;
+      if (d == m) {
+        if (auto pkt = tor.dequeue_packet(m, payload)) {
+          flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes,
+                             arrival, fct_);
+          goodput_.record_delivery(m, pkt->bytes, arrival);
+        }
+        continue;
+      }
+      if (auto pkt = tor.dequeue_packet(d, payload)) {
+        goodput_.record_relay_reception(m, pkt->bytes, arrival);
+        sim_.events().schedule_relay_handoff(
+            arrival, RelayHandoffEvent{m, d, pkt->flow, pkt->bytes});
+      }
     }
-    if (auto pkt = tor.dequeue_packet(d, payload)) {
-      goodput_.record_relay_reception(m, pkt->bytes, arrival);
-      sim_.events().schedule_relay_handoff(
-          arrival, RelayHandoffEvent{m, d, pkt->flow, pkt->bytes});
-    }
+    update_busy(s);
   }
 }
 

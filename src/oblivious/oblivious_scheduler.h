@@ -60,6 +60,47 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   /// `exclude`; kInvalidTor when none.
   TorId next_spread_dst(TorId src, TorId exclude);
 
+  // --- Sparse slot scan (the demand-driven pipeline, oblivious side) ---
+  //
+  // A slot connection src -> m is a complete no-op when src has no queued
+  // data (no VLB spread), no parked relay bytes (no second hop), and the
+  // occupancy advertisement would not change anything m can observe.
+  // run_slot therefore visits only the ToRs in busy_ — the dirty set of
+  // sources for which at least one condition fails — and replicates the
+  // dense per-connection logic exactly, so output is bit-identical to the
+  // full N x P scan.
+  //
+  // The advertisement's only observable effect is the receiver's future
+  // room check `advertised occupancy < relay_queue_capacity`, so only the
+  // *congested boolean* at advert time matters, not the byte count. Each
+  // ToR tracks how many peers currently believe it is congested
+  // (peers_believe_congested_); a source whose belief census disagrees
+  // with its actual state stays busy until its connections have told
+  // everyone. Congestion flips (a relay queue crossing capacity) are rare,
+  // so a drained ToR goes quiet immediately in the common case.
+
+  bool congested(TorId tor) const {
+    return relay_[static_cast<std::size_t>(tor)].total_bytes() >=
+           config_.oblivious.relay_queue_capacity;
+  }
+  /// Peers whose advertised view of `tor` disagrees with its state now.
+  int stale_peers(TorId tor) const {
+    const int believers = peers_believe_congested_[static_cast<std::size_t>(tor)];
+    return congested(tor) ? config_.num_tors - 1 - believers : believers;
+  }
+  /// Re-derives `tor`'s busy_ membership from the three conditions.
+  void update_busy(TorId tor) {
+    const bool busy =
+        !tors_[static_cast<std::size_t>(tor)].active_destinations().empty() ||
+        relay_[static_cast<std::size_t>(tor)].total_bytes() > 0 ||
+        stale_peers(tor) > 0;
+    if (busy) {
+      busy_.insert(tor);
+    } else {
+      busy_.erase(tor);
+    }
+  }
+
   NetworkConfig config_;
   std::unique_ptr<FlatTopology> topo_;
   RotorSchedule rotor_;
@@ -71,24 +112,27 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   GoodputMeter goodput_;
   LinkState links_;
   std::int64_t next_slot_{0};
-  /// last_occupancy_[observer * N + peer]: the peer's relay-queue total as
-  /// last advertised to the observer over an incoming connection.
-  std::vector<Bytes> last_occupancy_;
   std::vector<TorId> spread_ptr_;
 
   /// Rotor connectivity is a fixed cycle (rotation never changes), so the
   /// whole (slot-in-cycle, src, port) -> (dst, rx, link indices) table is
-  /// resolved once at construction; run_slot iterates flat records.
+  /// resolved once at construction; run_slot indexes flat records directly
+  /// at [slot * N * P + src * P + port] (dst == kInvalidTor for idle).
   struct SlotConn {
-    TorId src;
-    PortId tx;
     TorId dst;
     PortId rx;
     std::uint32_t tx_link;  // LinkState raw index, egress
     std::uint32_t rx_link;  // LinkState raw index, ingress
   };
-  std::vector<SlotConn> slot_conns_;         // grouped by slot-in-cycle
-  std::vector<std::int32_t> slot_conn_begin_;  // cycle_slots + 1 offsets
+  std::vector<SlotConn> conn_table_;
+
+  ActiveSet busy_;                   // dirty set of sources with work
+  std::vector<TorId> busy_scratch_;  // per-slot snapshot of busy_
+  /// advertised_congested_[observer * N + peer]: did the peer's last
+  /// advertisement to the observer signal a full relay buffer? (The
+  /// boolean form of last_occupancy_ — the only part room checks can see.)
+  std::vector<std::uint8_t> advertised_congested_;
+  std::vector<std::int32_t> peers_believe_congested_;  // [tor]
 };
 
 }  // namespace negotiator

@@ -1,11 +1,129 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace negotiator {
+
+// ----------------------------------------------------------- calendar tier
+
+void EventQueue::Calendar::mark(int bucket, bool nonempty) {
+  const auto word = static_cast<std::size_t>(bucket) / 64;
+  const std::uint64_t bit = 1ULL << (static_cast<std::size_t>(bucket) % 64);
+  if (nonempty) {
+    occupied[word] |= bit;
+  } else {
+    occupied[word] &= ~bit;
+  }
+}
+
+void EventQueue::Calendar::push(Nanos when, std::uint64_t seq,
+                                const Payload& payload) {
+  if (empty()) {
+    // Snap the cursor to the pushed item's window.
+    window_start_ = (when / kCalendarBucketNs) * kCalendarBucketNs;
+    cursor_ = static_cast<int>((when / kCalendarBucketNs) % kCalendarBuckets);
+  }
+  NEG_ASSERT(accepts(when), "calendar push outside the horizon");
+  const int b =
+      static_cast<int>((when / kCalendarBucketNs) % kCalendarBuckets);
+  Bucket& bucket = buckets[static_cast<std::size_t>(b)];
+  if (bucket.items.empty()) mark(b, true);
+  const Item item{when, seq, payload};
+  if (b != cursor_ || bucket.items.empty() ||
+      bucket.items.back().when < when ||
+      (bucket.items.back().when == when && bucket.items.back().seq < seq)) {
+    // Future buckets are plain append logs (sorted lazily when the cursor
+    // reaches them); in-order appends to the cursor bucket stay sorted.
+    if (b != cursor_ && !bucket.items.empty() &&
+        (bucket.items.back().when > when ||
+         (bucket.items.back().when == when && bucket.items.back().seq > seq))) {
+      bucket.sorted = false;
+    }
+    bucket.items.push_back(item);
+  } else {
+    // Out-of-order push into the partially consumed cursor bucket: insert
+    // in (when, seq) position, clamped past the consumed prefix.
+    auto pos = std::upper_bound(
+        bucket.items.begin() + static_cast<std::ptrdiff_t>(bucket.head),
+        bucket.items.end(), item, [](const Item& a, const Item& x) {
+          if (a.when != x.when) return a.when < x.when;
+          return a.seq < x.seq;
+        });
+    bucket.items.insert(pos, item);
+  }
+  ++size_;
+}
+
+void EventQueue::Calendar::advance_cursor() {
+  NEG_ASSERT(size_ > 0, "advance on empty calendar");
+  constexpr int kWords = kCalendarBuckets / 64;
+  int next = -1;
+  // Scan the occupancy bitmap starting just past the cursor, wrapping.
+  for (int step = 0; step <= kWords && next < 0; ++step) {
+    const int word_index = ((cursor_ + 1) / 64 + step) % kWords;
+    std::uint64_t word = occupied[static_cast<std::size_t>(word_index)];
+    if (step == 0) {
+      const int offset = (cursor_ + 1) % 64;
+      word &= ~((1ULL << offset) - 1);
+    }
+    if (word != 0) {
+      next = word_index * 64 + std::countr_zero(word);
+    }
+  }
+  NEG_ASSERT(next >= 0, "occupancy bitmap disagrees with size");
+  const int dist = (next - cursor_ + kCalendarBuckets) % kCalendarBuckets;
+  NEG_ASSERT(dist > 0, "cursor did not move");
+  window_start_ += static_cast<Nanos>(dist) * kCalendarBucketNs;
+  cursor_ = next;
+  Bucket& bucket = buckets[static_cast<std::size_t>(cursor_)];
+  if (!bucket.sorted) {
+    std::sort(bucket.items.begin(), bucket.items.end(),
+              [](const Item& a, const Item& b) {
+                if (a.when != b.when) return a.when < b.when;
+                return a.seq < b.seq;
+              });
+    bucket.sorted = true;
+  }
+}
+
+const EventQueue::Item& EventQueue::Calendar::front() const {
+  NEG_ASSERT(!empty(), "front of empty calendar");
+  const Bucket& bucket = buckets[static_cast<std::size_t>(cursor_)];
+  NEG_ASSERT(bucket.head < bucket.items.size(),
+             "cursor bucket drained without advancing");
+  return bucket.items[bucket.head];
+}
+
+void EventQueue::Calendar::pop_front() {
+  Bucket& bucket = buckets[static_cast<std::size_t>(cursor_)];
+  ++bucket.head;
+  --size_;
+  if (bucket.head == bucket.items.size()) {
+    bucket.items.clear();  // recycle the storage
+    bucket.head = 0;
+    bucket.sorted = true;
+    mark(cursor_, false);
+    if (size_ > 0) advance_cursor();
+  }
+}
+
+void EventQueue::Calendar::clear() {
+  for (Bucket& b : buckets) {
+    b.items.clear();
+    b.head = 0;
+    b.sorted = true;
+  }
+  occupied.fill(0);
+  size_ = 0;
+  window_start_ = 0;
+  cursor_ = 0;
+}
+
+// -------------------------------------------------------------- event queue
 
 void EventQueue::push_heap_entry(Entry&& e) {
   heap_.push_back(std::move(e));
@@ -66,10 +184,13 @@ void EventQueue::schedule_relay_handoff(Nanos when,
   NEG_ASSERT(when >= 0, "event time must be non-negative");
   Payload payload;
   payload.relay = ev;
-  if (handoffs_.accepts(when)) {
-    handoffs_.append(when, next_seq_++, payload);
+  if (calendar_.accepts(when)) {
+    calendar_.push(when, next_seq_++, payload);
     return;
   }
+  // Beyond the calendar horizon (or behind its cursor): fall back to a
+  // heap entry. Ordering is unchanged — pops merge all tiers by
+  // (when, seq).
   Entry e;
   e.when = when;
   e.seq = next_seq_++;
@@ -78,40 +199,12 @@ void EventQueue::schedule_relay_handoff(Nanos when,
   push_heap_entry(std::move(e));
 }
 
-EventQueue::Stream* EventQueue::earliest_stream() {
-  // Requires !empty(). Merge the three tiers by (when, seq); seq values
-  // are globally unique, so the comparison is a strict total order.
-  Stream* best = nullptr;
-  Nanos when = 0;
-  std::uint64_t seq = 0;
-  if (!heap_.empty()) {
-    when = heap_.front().when;
-    seq = heap_.front().seq;
-  }
-  for (Stream* s : {&arrivals_, &handoffs_}) {
-    if (s->drained()) continue;
-    const Stream::Item& it = s->front();
-    if (best == nullptr && heap_.empty()) {
-      best = s;
-      when = it.when;
-      seq = it.seq;
-      continue;
-    }
-    if (it.when < when || (it.when == when && it.seq < seq)) {
-      best = s;
-      when = it.when;
-      seq = it.seq;
-    }
-  }
-  return best;
-}
-
 Nanos EventQueue::next_time() const {
   if (empty()) return kNeverNs;
   Nanos best = kNeverNs;
   if (!heap_.empty()) best = heap_.front().when;
   if (!arrivals_.drained()) best = std::min(best, arrivals_.front().when);
-  if (!handoffs_.drained()) best = std::min(best, handoffs_.front().when);
+  if (!calendar_.empty()) best = std::min(best, calendar_.front().when);
   return best;
 }
 
@@ -136,50 +229,87 @@ void EventQueue::dispatch(const Entry& e) {
   }
 }
 
-void EventQueue::run_stream_head(Stream* s) {
-  // Copy out before advancing: the sink may schedule new events, which
-  // can recycle the stream storage when this was the last entry.
-  const Stream::Item item = s->front();
-  const bool is_arrival = s == &arrivals_;
-  ++s->head;
+void EventQueue::dispatch_item(const Item& item, Kind kind) {
   ++executed_;
   NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
-  if (is_arrival) {
+  if (kind == Kind::kFlowArrival) {
     sink_->on_flow_arrival(item.payload.flow, item.when);
   } else {
     sink_->on_relay_handoff(item.payload.relay, item.when);
   }
 }
 
+int EventQueue::earliest_tier(Nanos& when_out) {
+  // Merge the tiers by (when, seq); seq values are globally unique, so the
+  // comparison is a strict total order. Requires !empty().
+  Nanos best_when = kNeverNs;
+  std::uint64_t best_seq = ~0ULL;
+  int tier = -1;  // 0 = heap, 1 = arrivals, 2 = calendar
+  if (!heap_.empty()) {
+    best_when = heap_.front().when;
+    best_seq = heap_.front().seq;
+    tier = 0;
+  }
+  if (!arrivals_.drained()) {
+    const Item& it = arrivals_.front();
+    if (tier < 0 || it.when < best_when ||
+        (it.when == best_when && it.seq < best_seq)) {
+      best_when = it.when;
+      best_seq = it.seq;
+      tier = 1;
+    }
+  }
+  if (!calendar_.empty()) {
+    const Item& it = calendar_.front();
+    if (tier < 0 || it.when < best_when ||
+        (it.when == best_when && it.seq < best_seq)) {
+      best_when = it.when;
+      best_seq = it.seq;  // keep the tie-break state right for new tiers
+      tier = 2;
+    }
+  }
+  when_out = best_when;
+  return tier;
+}
+
+void EventQueue::run_tier(int tier) {
+  if (tier == 1) {
+    // Copy out before advancing: the sink may schedule new events, which
+    // can recycle the stream storage when this was the last entry.
+    const Item item = arrivals_.front();
+    ++arrivals_.head;
+    dispatch_item(item, Kind::kFlowArrival);
+  } else if (tier == 2) {
+    const Item item = calendar_.front();
+    calendar_.pop_front();
+    dispatch_item(item, Kind::kRelayHandoff);
+  } else {
+    // Entry is moved out before dispatch: the callback may schedule events.
+    const Entry e = pop_heap_entry();
+    dispatch(e);
+  }
+}
+
 void EventQueue::run_next() {
   NEG_ASSERT(!empty(), "run_next on empty queue");
-  if (Stream* s = earliest_stream()) {
-    run_stream_head(s);
-    return;
-  }
-  // Entry is moved out before dispatch: the callback may schedule events.
-  const Entry e = pop_heap_entry();
-  dispatch(e);
+  Nanos when;
+  run_tier(earliest_tier(when));
 }
 
 void EventQueue::run_until(Nanos until) {
   // One tier-merge comparison per event (not next_time() + run_next()).
   while (!empty()) {
-    if (Stream* s = earliest_stream()) {
-      if (s->front().when > until) return;
-      run_stream_head(s);
-    } else {
-      if (heap_.front().when > until) return;
-      const Entry e = pop_heap_entry();
-      dispatch(e);
-    }
+    Nanos when;
+    const int tier = earliest_tier(when);
+    if (when > until) return;
+    run_tier(tier);
   }
 }
 
 void EventQueue::clear() {
   heap_.clear();
   arrivals_.clear();
-  handoffs_.clear();
+  calendar_.clear();
 }
 
 }  // namespace negotiator

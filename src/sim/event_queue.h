@@ -5,22 +5,30 @@
 // via a monotonically increasing sequence number shared by every schedule_*
 // entry point), which keeps runs reproducible regardless of heap internals.
 //
-// Two storage tiers back that contract without a heap allocation per event:
+// Three storage tiers back that contract without a heap allocation per
+// event; pops merge the tier heads by (timestamp, seq), so observable
+// order is always identical to a single binary heap:
 //
 //  - Typed entries (flow arrival, link toggle, relay handoff) are plain
 //    tagged-union payloads dispatched to an EventSink — no std::function,
 //    no per-event heap traffic. The legacy `Callback` API remains as a thin
 //    compatibility shim for tests and ad-hoc tooling.
 //  - Flow arrivals are almost always scheduled in non-decreasing time order
-//    (workload generators emit sorted traces), and relay handoffs are
-//    scheduled at the current slot's arrival instant, which only moves
-//    forward. Each takes a fast path: an append-only pre-sorted stream
-//    consumed by a cursor. Millions of add_flow / relay events never touch
-//    the binary heap; an out-of-order entry silently falls back to a heap
-//    entry. The merged pop compares (timestamp, seq) across all tiers, so
-//    observable order is identical to a single heap.
+//    (workload generators emit sorted traces) and take an append-only
+//    pre-sorted stream consumed by a cursor; an out-of-order arrival
+//    silently falls back to a heap entry.
+//  - Relay handoffs — the periodic per-slot streams that dominate event
+//    volume on the oblivious fabric (millions per run) — land in a
+//    *bucketed calendar tier*: a ring of fixed-width time buckets covering
+//    a bounded horizon ahead of the queue's cursor. The common push is an
+//    append into a recycled bucket and the common pop is a cursor bump —
+//    both O(1), with bounded memory (a plain pre-sorted stream would grow
+//    by every handoff ever scheduled, since it can only recycle storage
+//    when fully drained, which never happens mid-run). A handoff beyond
+//    the horizon or behind the cursor falls back to a heap entry.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -73,17 +81,18 @@ class EventQueue {
   /// allocates for the closure like any std::function).
   void schedule(Nanos when, Callback cb);
 
-  /// Typed, allocation-free scheduling. Flow arrivals and relay handoffs
-  /// in non-decreasing time order take a pre-sorted stream fast path.
+  /// Typed, allocation-free scheduling. Flow arrivals in non-decreasing
+  /// time order take the pre-sorted stream; relay handoffs within the
+  /// calendar horizon take the bucket ring.
   void schedule_flow_arrival(Nanos when, std::int32_t flow_index);
   void schedule_link_toggle(Nanos when, const LinkToggleEvent& e);
   void schedule_relay_handoff(Nanos when, const RelayHandoffEvent& e);
 
   bool empty() const {
-    return heap_.empty() && arrivals_.drained() && handoffs_.drained();
+    return heap_.empty() && arrivals_.drained() && calendar_.empty();
   }
   std::size_t size() const {
-    return heap_.size() + arrivals_.pending() + handoffs_.pending();
+    return heap_.size() + arrivals_.pending() + calendar_.size();
   }
 
   /// Timestamp of the earliest pending event; kNeverNs when empty.
@@ -100,6 +109,12 @@ class EventQueue {
 
   /// Events executed so far (perf accounting).
   std::uint64_t executed() const { return executed_; }
+
+  /// Calendar-tier geometry (exposed for the property tests): entries more
+  /// than `kCalendarBucketNs * kCalendarBuckets` ns ahead of the calendar
+  /// cursor fall back to the heap.
+  static constexpr Nanos kCalendarBucketNs = 256;
+  static constexpr int kCalendarBuckets = 1024;  // 262 us horizon
 
  private:
   enum class Kind : std::uint8_t {
@@ -131,13 +146,14 @@ class EventQueue {
     }
   };
 
-  /// One append-only pre-sorted tier: POD entries, cursor consumption.
+  struct Item {
+    Nanos when;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  /// The append-only pre-sorted tier: POD entries, cursor consumption.
   struct Stream {
-    struct Item {
-      Nanos when;
-      std::uint64_t seq;
-      Payload payload;
-    };
     std::vector<Item> items;
     std::size_t head{0};
 
@@ -162,19 +178,62 @@ class EventQueue {
     }
   };
 
+  /// The bucketed calendar tier. Invariants:
+  ///  - every pending item lies in [window_start_, window_start_ +
+  ///    kCalendarBuckets * kCalendarBucketNs);
+  ///  - the cursor bucket (the ring slot whose window is window_start_) is
+  ///    sorted by (when, seq) and consumed through its head cursor; later
+  ///    buckets are unsorted append logs, sorted once when the cursor
+  ///    reaches them;
+  ///  - occupied_ mirrors bucket non-emptiness so advancing the cursor
+  ///    over empty buckets is a count-trailing-zeros word scan, not a
+  ///    bucket-by-bucket walk.
+  struct Calendar {
+    struct Bucket {
+      std::vector<Item> items;
+      std::size_t head{0};
+      bool sorted{true};
+    };
+    std::array<Bucket, static_cast<std::size_t>(kCalendarBuckets)> buckets;
+    std::array<std::uint64_t, static_cast<std::size_t>(kCalendarBuckets) / 64>
+        occupied{};
+    Nanos window_start_{0};  // window of the cursor bucket
+    int cursor_{0};          // ring index of the cursor bucket
+    std::size_t size_{0};
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    bool accepts(Nanos when) const {
+      return empty() ||
+             (when >= window_start_ &&
+              when < window_start_ + kCalendarBucketNs * kCalendarBuckets);
+    }
+    void push(Nanos when, std::uint64_t seq, const Payload& payload);
+    /// Earliest pending item. Requires !empty(); the cursor bucket is
+    /// kept sorted and non-empty by push/pop, so this is a plain read.
+    const Item& front() const;
+    void pop_front();
+    void clear();
+
+   private:
+    void mark(int bucket, bool nonempty);
+    /// Moves the cursor to the next non-empty bucket and sorts it.
+    void advance_cursor();
+  };
+
   void push_heap_entry(Entry&& e);
   Entry pop_heap_entry();
   void dispatch(const Entry& e);
-  /// Consumes and dispatches the head of `s` (one of the two streams).
-  void run_stream_head(Stream* s);
-
-  /// The stream holding the globally earliest (when, seq) event, or
-  /// nullptr when the heap top precedes both stream heads.
-  Stream* earliest_stream();
+  void dispatch_item(const Item& item, Kind kind);
+  /// Tier (0 = heap, 1 = arrivals, 2 = calendar) holding the globally
+  /// earliest (when, seq) event; requires !empty().
+  int earliest_tier(Nanos& when_out);
+  /// Pops and dispatches the head of `tier`.
+  void run_tier(int tier);
 
   std::vector<Entry> heap_;  // binary heap ordered by heap_later
   Stream arrivals_;          // flow arrivals (pre-sorted workload traces)
-  Stream handoffs_;          // relay handoffs (slot times only move forward)
+  Calendar calendar_;        // relay handoffs (bounded-horizon bucket ring)
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
   EventSink* sink_{nullptr};

@@ -79,4 +79,22 @@ PredefinedSchedule::Connection PredefinedSchedule::pair_connection(
   return Connection{slot, tx, rx};
 }
 
+void PredefinedSchedule::pair_connections(TorId src, TorId dst, int rotation,
+                                          std::vector<Connection>& out) const {
+  NEG_ASSERT(src != dst, "no connection for self traffic");
+  if (kind_ != TopologyKind::kParallel) {
+    out.push_back(pair_connection(src, dst, rotation));
+    return;
+  }
+  // Parallel: offsets repeat every N-1 connection opportunities, so the
+  // pair meets at indices index0, index0 + (N-1), ... below S*slots.
+  const int offset = positive_mod(dst - src, num_tors_);
+  const int index0 = positive_mod(offset - 1 - rotation, num_tors_ - 1);
+  const int capacity = ports_per_tor_ * slots_;
+  for (int index = index0; index < capacity; index += num_tors_ - 1) {
+    const PortId tx = static_cast<PortId>(index / slots_);
+    out.push_back(Connection{index % slots_, tx, tx});
+  }
+}
+
 }  // namespace negotiator

@@ -9,6 +9,8 @@
 // shifts the slot, not the link.
 #pragma once
 
+#include <vector>
+
 #include "common/config.h"
 #include "common/types.h"
 
@@ -37,6 +39,14 @@ class PredefinedSchedule {
     PortId rx_port;
   };
   Connection pair_connection(TorId src, TorId dst, int rotation) const;
+
+  /// Appends *every* connection opportunity pair (src, dst) has within one
+  /// epoch under `rotation` to `out`. Thin-clos pairs meet exactly once;
+  /// in the parallel network S*slots connection opportunities cover the
+  /// N-1 offsets, so when capacity exceeds N-1 a few pairs meet twice —
+  /// the sparse predefined phase must visit both, like the dense scan did.
+  void pair_connections(TorId src, TorId dst, int rotation,
+                        std::vector<Connection>& out) const;
 
  private:
   TopologyKind kind_;

@@ -1,43 +1,14 @@
 #include "tor/relay_queue.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
 
 namespace negotiator {
 
 RelayQueueSet::RelayQueueSet(int num_tors)
     : queues_(static_cast<std::size_t>(num_tors)),
-      queue_bytes_(static_cast<std::size_t>(num_tors), 0) {
+      queue_bytes_(static_cast<std::size_t>(num_tors), 0),
+      active_(num_tors) {
   NEG_ASSERT(num_tors >= 1, "need >= 1 ToR");
-}
-
-void RelayQueueSet::enqueue(TorId final_dst, FlowId flow, Bytes bytes,
-                            Nanos now) {
-  NEG_ASSERT(bytes > 0, "cannot relay zero bytes");
-  auto& q = queues_[static_cast<std::size_t>(final_dst)];
-  if (!q.empty() && q.back().flow == flow) {
-    q.back().bytes += bytes;
-  } else {
-    q.push_back(RelayChunk{flow, bytes, now});
-  }
-  queue_bytes_[static_cast<std::size_t>(final_dst)] += bytes;
-  total_bytes_ += bytes;
-}
-
-std::optional<RelayChunk> RelayQueueSet::dequeue_packet(TorId final_dst,
-                                                        Bytes max_payload) {
-  NEG_ASSERT(max_payload > 0, "packet payload must be positive");
-  auto& q = queues_[static_cast<std::size_t>(final_dst)];
-  if (q.empty()) return std::nullopt;
-  RelayChunk& head = q.front();
-  const Bytes take = std::min(head.bytes, max_payload);
-  RelayChunk out{head.flow, take, head.received_at};
-  head.bytes -= take;
-  queue_bytes_[static_cast<std::size_t>(final_dst)] -= take;
-  total_bytes_ -= take;
-  if (head.bytes == 0) q.pop_front();
-  return out;
 }
 
 }  // namespace negotiator

@@ -3,10 +3,13 @@
 // mechanism "does not apply to data at intermediate nodes" (§4.1).
 #pragma once
 
-#include <deque>
+#include <algorithm>
+#include <cstddef>
 #include <optional>
 #include <vector>
 
+#include "common/active_set.h"
+#include "common/assert.h"
 #include "common/types.h"
 
 namespace negotiator {
@@ -17,15 +20,82 @@ struct RelayChunk {
   Nanos received_at;
 };
 
+/// A flat ring-buffer FIFO of relay chunks. The oblivious fabric pushes and
+/// pops millions of chunks per run across N^2 queues; a std::deque pays a
+/// block allocation every few entries and scatters them across the heap,
+/// while this ring reuses one contiguous buffer (power-of-two capacity,
+/// grown on demand and kept).
+class ChunkFifo {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  RelayChunk& front() { return buf_[head_]; }
+  const RelayChunk& front() const { return buf_[head_]; }
+  RelayChunk& back() { return buf_[wrap(head_ + size_ - 1)]; }
+
+  void push_back(const RelayChunk& c) {
+    if (size_ == buf_.size()) grow();
+    buf_[wrap(head_ + size_)] = c;
+    ++size_;
+  }
+  void pop_front() {
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+  void grow() {
+    std::vector<RelayChunk> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = buf_[wrap(head_ + i)];
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<RelayChunk> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
 /// Relay queues for one ToR, indexed by final destination.
 class RelayQueueSet {
  public:
   explicit RelayQueueSet(int num_tors);
 
-  void enqueue(TorId final_dst, FlowId flow, Bytes bytes, Nanos now);
+  /// Inline: the oblivious fabric enqueues one chunk per spread packet —
+  /// millions per run.
+  void enqueue(TorId final_dst, FlowId flow, Bytes bytes, Nanos now) {
+    NEG_ASSERT(bytes > 0, "cannot relay zero bytes");
+    auto& q = queues_[static_cast<std::size_t>(final_dst)];
+    if (q.empty()) active_.insert(final_dst);
+    if (!q.empty() && q.back().flow == flow) {
+      q.back().bytes += bytes;
+    } else {
+      q.push_back(RelayChunk{flow, bytes, now});
+    }
+    queue_bytes_[static_cast<std::size_t>(final_dst)] += bytes;
+    total_bytes_ += bytes;
+  }
 
   /// At most `max_payload` bytes of one flow bound for `final_dst`.
-  std::optional<RelayChunk> dequeue_packet(TorId final_dst, Bytes max_payload);
+  /// Inline: called once per second-hop packet.
+  std::optional<RelayChunk> dequeue_packet(TorId final_dst,
+                                           Bytes max_payload) {
+    NEG_ASSERT(max_payload > 0, "packet payload must be positive");
+    auto& q = queues_[static_cast<std::size_t>(final_dst)];
+    if (q.empty()) return std::nullopt;
+    RelayChunk& head = q.front();
+    const Bytes take = std::min(head.bytes, max_payload);
+    RelayChunk out{head.flow, take, head.received_at};
+    head.bytes -= take;
+    queue_bytes_[static_cast<std::size_t>(final_dst)] -= take;
+    total_bytes_ -= take;
+    if (head.bytes == 0) q.pop_front();
+    if (q.empty()) active_.erase(final_dst);
+    return out;
+  }
 
   Bytes bytes_for(TorId final_dst) const {
     return queue_bytes_[static_cast<std::size_t>(final_dst)];
@@ -33,9 +103,15 @@ class RelayQueueSet {
   Bytes total_bytes() const { return total_bytes_; }
   bool empty_for(TorId final_dst) const { return bytes_for(final_dst) == 0; }
 
+  /// Final destinations with parked bytes, ascending. Dirty-set invariant:
+  /// enqueue() marks on the empty -> non-empty flip, dequeue_packet()
+  /// clears on drain; mutations are O(active) only on flips.
+  const ActiveSet& active_destinations() const { return active_; }
+
  private:
-  std::vector<std::deque<RelayChunk>> queues_;
+  std::vector<ChunkFifo> queues_;
   std::vector<Bytes> queue_bytes_;
+  ActiveSet active_;
   Bytes total_bytes_{0};
 };
 

@@ -24,6 +24,8 @@ class SizeDistribution {
   struct Point {
     Bytes size;
     double cdf;  // P(flow size <= size)
+
+    bool operator==(const Point&) const = default;
   };
 
   /// Points must be strictly increasing in both size and cdf, with the last
@@ -52,6 +54,11 @@ class SizeDistribution {
   double mice_fraction() const;
 
   const std::vector<Point>& points() const { return points_; }
+
+  /// Same anchors and name — same sampling behaviour for a given Rng.
+  bool operator==(const SizeDistribution& other) const {
+    return name_ == other.name_ && points_ == other.points_;
+  }
 
  private:
   std::vector<Point> points_;

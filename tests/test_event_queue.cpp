@@ -242,6 +242,118 @@ TEST(EventQueue, DeterminismPropertyRandomizedMixedSchedule) {
   }
 }
 
+TEST(EventQueue, CalendarPropertyRandomizedHandoffsMatchHeapOrder) {
+  // Property: relay handoffs — whatever mix of in-bucket ties, bucket
+  // boundaries, horizon overflows (heap fallback) and ring wraparound the
+  // schedule produces — fire in exactly (timestamp, schedule order), i.e.
+  // indistinguishable from a single binary heap. Spans are drawn around
+  // the bucket width and the full horizon to hit every calendar path.
+  constexpr Nanos kHorizon =
+      EventQueue::kCalendarBucketNs * EventQueue::kCalendarBuckets;
+  Rng rng(777);
+  for (int round = 0; round < 15; ++round) {
+    EventQueue q;
+    RecordingSink sink;
+    q.set_sink(&sink);
+    std::vector<std::pair<Nanos, std::int64_t>> expected;  // (when, sched#)
+    std::int64_t sched = 0;
+    Nanos now = 0;
+
+    auto schedule_one = [&](Nanos when) {
+      q.schedule_relay_handoff(when, RelayHandoffEvent{0, 1, sched, 1});
+      expected.emplace_back(when, sched);
+      ++sched;
+    };
+
+    for (int i = 0; i < 100; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:  // same-bucket ties and near-future entries
+          schedule_one(now + rng.next_below(EventQueue::kCalendarBucketNs));
+          break;
+        case 1:  // across bucket boundaries
+          schedule_one(now + rng.next_below(16 * EventQueue::kCalendarBucketNs));
+          break;
+        case 2:  // anywhere inside the horizon (ring wraparound)
+          schedule_one(now + rng.next_below(kHorizon));
+          break;
+        default:  // beyond the horizon: heap fallback
+          schedule_one(now + kHorizon + rng.next_below(kHorizon));
+          break;
+      }
+      // Interleave pops so the cursor moves and buckets recycle.
+      while (!q.empty() && rng.next_below(3) == 0) {
+        now = std::max(now, q.next_time());
+        q.run_next();
+      }
+    }
+    q.run_until(kNeverNs - 1);
+
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    ASSERT_EQ(sink.fired.size(), expected.size()) << "round " << round;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(sink.fired[i].tag, expected[i].second)
+          << "round " << round << " position " << i;
+      EXPECT_EQ(sink.fired[i].when, expected[i].first)
+          << "round " << round << " position " << i;
+    }
+  }
+}
+
+TEST(EventQueue, CalendarPushBehindCursorStillFiresInOrder) {
+  // After the calendar cursor has moved forward, a handoff scheduled
+  // behind it falls back to the heap and still fires before everything
+  // later — exactly like a pure heap would surface it.
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  q.schedule_relay_handoff(10'000, RelayHandoffEvent{0, 1, 1, 1});
+  q.schedule_relay_handoff(20'000, RelayHandoffEvent{0, 1, 2, 1});
+  q.run_until(10'000);  // cursor now sits at the 20'000 entry's bucket
+  q.schedule_relay_handoff(15'000, RelayHandoffEvent{0, 1, 3, 1});
+  q.schedule_relay_handoff(12'000, RelayHandoffEvent{0, 1, 4, 1});
+  q.run_until(30'000);
+  ASSERT_EQ(sink.fired.size(), 4u);
+  EXPECT_EQ(sink.fired[0].tag, 1);
+  EXPECT_EQ(sink.fired[1].tag, 4);  // 12'000
+  EXPECT_EQ(sink.fired[2].tag, 3);  // 15'000
+  EXPECT_EQ(sink.fired[3].tag, 2);  // 20'000
+}
+
+TEST(EventQueue, CalendarRecyclesBucketsAcrossManyHorizons) {
+  // A long periodic handoff stream (the oblivious fabric's shape) must
+  // reuse ring storage: schedule/pop far more events than the ring holds,
+  // sweeping many full horizons, and verify count and order.
+  constexpr Nanos kHorizon =
+      EventQueue::kCalendarBucketNs * EventQueue::kCalendarBuckets;
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  const int kSlots = 3000;
+  const Nanos slot_ns = kHorizon / 100;  // 30 horizons overall
+  std::int64_t id = 0;
+  Nanos now = 0;
+  for (int slot = 0; slot < kSlots; ++slot) {
+    const Nanos when = now + 2'000;  // "propagation delay" ahead
+    for (int k = 0; k < 3; ++k) {
+      q.schedule_relay_handoff(when, RelayHandoffEvent{0, 1, id++, 1});
+    }
+    now += slot_ns;
+    q.run_until(now);
+  }
+  q.run_until(kNeverNs - 1);
+  ASSERT_EQ(sink.fired.size(), static_cast<std::size_t>(id));
+  for (std::size_t i = 1; i < sink.fired.size(); ++i) {
+    const bool ordered =
+        sink.fired[i - 1].when < sink.fired[i].when ||
+        (sink.fired[i - 1].when == sink.fired[i].when &&
+         sink.fired[i - 1].tag < sink.fired[i].tag);
+    ASSERT_TRUE(ordered) << "position " << i;
+  }
+}
+
 TEST(EventQueue, ExecutedCounterCountsEveryTier) {
   EventQueue q;
   RecordingSink sink;

@@ -19,6 +19,7 @@ class LossyDemand : public DemandView {
  public:
   explicit LossyDemand(int n) : n_(n), active_(static_cast<std::size_t>(n)) {
     for (TorId s = 0; s < n; ++s) {
+      active_sources_.insert(s);
       for (TorId d = 0; d < n; ++d) {
         if (s != d) active_[static_cast<std::size_t>(s)].insert(d);
       }
@@ -33,16 +34,19 @@ class LossyDemand : public DemandView {
   Bytes cumulative_arrived(TorId, TorId) const override { return 1'000'000; }
   Bytes relay_pending(TorId, TorId) const override { return 0; }
   Bytes relay_queue_total(TorId) const override { return 0; }
-  std::vector<TorId> relay_active_destinations(TorId) const override {
-    return {};
+  const ActiveSet& relay_active_destinations(TorId) const override {
+    static const ActiveSet kEmpty;
+    return kEmpty;
   }
   const ActiveSet& active_destinations(TorId s) const override {
     return active_[static_cast<std::size_t>(s)];
   }
+  const ActiveSet& active_sources() const override { return active_sources_; }
 
  private:
   int n_;
   std::vector<ActiveSet> active_;
+  ActiveSet active_sources_;
 };
 
 struct LossCase {

@@ -23,6 +23,11 @@ class FakeDemand : public DemandView {
     } else {
       active_[static_cast<std::size_t>(s)].erase(d);
     }
+    if (active_[static_cast<std::size_t>(s)].empty()) {
+      active_sources_.erase(s);
+    } else {
+      active_sources_.insert(s);
+    }
   }
 
   Bytes pending_bytes(TorId s, TorId d) const override {
@@ -40,17 +45,20 @@ class FakeDemand : public DemandView {
   }
   Bytes relay_pending(TorId, TorId) const override { return 0; }
   Bytes relay_queue_total(TorId) const override { return 0; }
-  std::vector<TorId> relay_active_destinations(TorId) const override {
-    return {};
+  const ActiveSet& relay_active_destinations(TorId) const override {
+    static const ActiveSet kEmpty;
+    return kEmpty;
   }
   const ActiveSet& active_destinations(TorId s) const override {
     return active_[static_cast<std::size_t>(s)];
   }
+  const ActiveSet& active_sources() const override { return active_sources_; }
 
  private:
   int n_;
   std::vector<Bytes> pending_;
   std::vector<ActiveSet> active_;
+  ActiveSet active_sources_;
 };
 
 struct Harness {

@@ -1,0 +1,284 @@
+// Bit-identity contract for the epoch engine: every scheduler variant on
+// every topology must produce byte-for-byte identical simulation output for
+// a fixed seed, before and after hot-path refactors (the same contract the
+// PR 2/3 engine work was held to).
+//
+// Each scenario runs a small fabric on a deterministic workload and hashes
+// the *complete* observable output — every FCT sample (flow id, size,
+// arrival, fct, group) plus the end-of-run summary metrics — into one
+// FNV-1a fingerprint. The golden values below were captured from the
+// pre-sparse-pipeline engine (PR 3 state); any diff means simulated
+// behaviour changed, not just performance.
+//
+// To regenerate after an *intentional* behaviour change:
+//   NEG_PRINT_GOLDENS=1 ./test_seed_equivalence --gtest_filter='*Golden*'
+// and paste the printed table over kGoldens.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "engine/runner.h"
+#include "workload/generator.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+struct Scenario {
+  const char* name;
+  TopologyKind topo;
+  SchedulerKind sched;
+  int num_tors;
+  int ports;
+  double load;
+  std::uint64_t seed;
+  bool failures{false};   // mid-run link fail/repair (dense fallback path)
+  bool host_plane{false};
+  bool piggyback{true};
+  bool rotate{true};
+  bool incast_burst{false};  // out-of-order arrivals (heap/bucket tier)
+  int iterations{1};
+};
+
+constexpr Nanos kDuration = 400'000;  // 0.4 ms simulated
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t bits) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+std::uint64_t run_fingerprint(const Scenario& sc) {
+  NetworkConfig cfg;
+  cfg.topology = sc.topo;
+  cfg.scheduler = sc.sched;
+  cfg.num_tors = sc.num_tors;
+  cfg.ports_per_tor = sc.ports;
+  cfg.seed = sc.seed;
+  cfg.piggyback = sc.piggyback;
+  cfg.rotate_predefined_rule = sc.rotate;
+  cfg.host_plane.enabled = sc.host_plane;
+  cfg.variant.iterations = sc.iterations;
+  if (sc.host_plane) {
+    // Small buffers so the pause/resume watermarks actually trip.
+    cfg.host_plane.rx_buffer_capacity = 64'000;
+    cfg.host_plane.rx_high_watermark = 48'000;
+    cfg.host_plane.rx_low_watermark = 16'000;
+  }
+
+  Runner runner(cfg);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
+                        cfg.host_rate(), sc.load, Rng(sc.seed));
+  runner.add_flows(gen.generate(0, kDuration));
+  if (sc.incast_burst) {
+    // A second batch with earlier timestamps than the tail of the first:
+    // these arrivals are out of order for the pre-sorted stream tier.
+    std::vector<Flow> burst;
+    for (int i = 0; i < 40; ++i) {
+      Flow f;
+      f.id = 1'000'000 + i;
+      f.src = static_cast<TorId>((i + 1) % cfg.num_tors);
+      f.dst = static_cast<TorId>(i % 2);
+      if (f.src == f.dst) f.src = static_cast<TorId>(f.dst + 1);
+      f.size = 20'000 + 512 * i;
+      f.arrival = 30'000 + 700 * i;
+      f.group = 7;
+      burst.push_back(f);
+    }
+    runner.add_flows(burst);
+  }
+  if (sc.failures) {
+    FabricSim& fab = runner.fabric();
+    fab.schedule_link_event(40'000, 1, 0, LinkDirection::kEgress, true);
+    fab.schedule_link_event(60'000, 2, 1, LinkDirection::kIngress, true);
+    fab.schedule_link_event(180'000, 1, 0, LinkDirection::kEgress, false);
+    fab.schedule_link_event(240'000, 2, 1, LinkDirection::kIngress, false);
+  }
+
+  const RunResult r = runner.run(kDuration, kDuration / 4);
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const FctSample& s : runner.fabric().fct().samples()) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.flow));
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.size));
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.arrival));
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.fct));
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.group));
+  }
+  h = fnv_mix(h, static_cast<std::uint64_t>(r.completed));
+  h = fnv_mix(h, static_cast<std::uint64_t>(r.backlog));
+  h = fnv_mix_double(h, r.goodput);
+  h = fnv_mix_double(h, r.mean_match_ratio);
+  h = fnv_mix_double(h, r.mice.p99_ns);
+  h = fnv_mix_double(h, r.mice.mean_ns);
+  h = fnv_mix_double(h, r.all_flows.p99_ns);
+  h = fnv_mix_double(h, r.all_flows.p50_ns);
+  h = fnv_mix_double(h, r.all_flows.mean_ns);
+  h = fnv_mix_double(h, r.all_flows.max_ns);
+  h = fnv_mix(h, runner.fabric().events_executed());
+  return h;
+}
+
+const Scenario kScenarios[] = {
+    // Base algorithm, both topologies (N=16, S=8: the parallel schedule has
+    // a duplicate connection opportunity per epoch — 2*8 slots > 15 pairs).
+    {"negotiator/parallel", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 11},
+    {"negotiator/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 11},
+    {"negotiator/parallel/12x4", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 12, 4, 0.3, 12},
+    {"negotiator/thin-clos/12x4", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 12, 4, 0.3, 12},
+    // Failure handling: losses, fault detection, dense-slot fallback.
+    {"negotiator/parallel/failures", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 13, true},
+    {"negotiator/thin-clos/failures", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 13, true},
+    // Host plane pause/resume; piggyback off; static predefined rule.
+    {"negotiator/parallel/hostplane", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.9, 14, false, true},
+    {"negotiator/parallel/no-piggyback", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 15, false, false, false},
+    {"negotiator/parallel/no-rotate", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 16, false, false, true, false},
+    // Out-of-order arrivals exercise the non-stream event tiers.
+    {"negotiator/parallel/incast", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.5, 17, false, false, true, true,
+     true},
+    {"oblivious/thin-clos/incast", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.5, 17, false, false, true, true,
+     true},
+    // The appendix variants.
+    {"iterative/parallel", TopologyKind::kParallel,
+     SchedulerKind::kNegotiatorIterative, 16, 8, 0.6, 21, false, false, true,
+     true, false, 2},
+    {"iterative/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorIterative, 16, 8, 0.6, 21, false, false, true,
+     true, false, 2},
+    {"informative-size/parallel", TopologyKind::kParallel,
+     SchedulerKind::kNegotiatorInformativeSize, 16, 8, 0.6, 22},
+    {"informative-size/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorInformativeSize, 16, 8, 0.6, 22},
+    {"informative-hol/parallel", TopologyKind::kParallel,
+     SchedulerKind::kNegotiatorInformativeHol, 16, 8, 0.6, 23},
+    {"informative-hol/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorInformativeHol, 16, 8, 0.6, 23},
+    {"stateful/parallel", TopologyKind::kParallel,
+     SchedulerKind::kNegotiatorStateful, 16, 8, 0.6, 24},
+    {"stateful/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorStateful, 16, 8, 0.6, 24},
+    {"selective-relay/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorSelectiveRelay, 16, 8, 0.9, 25},
+    {"projector/parallel", TopologyKind::kParallel,
+     SchedulerKind::kProjector, 16, 8, 0.6, 26},
+    {"projector/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kProjector, 16, 8, 0.6, 26},
+    {"centralized/parallel", TopologyKind::kParallel,
+     SchedulerKind::kCentralized, 16, 8, 0.6, 27},
+    {"centralized/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kCentralized, 16, 8, 0.6, 27},
+    // Oblivious baseline, both topologies, two loads.
+    {"oblivious/thin-clos", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 28},
+    {"oblivious/parallel", TopologyKind::kParallel,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 28},
+    {"oblivious/thin-clos/light", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.1, 29},
+    {"oblivious/thin-clos/failures", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 30, true},
+};
+
+// Golden fingerprints captured from the seed engine (pre-sparse pipeline).
+// Index-aligned with kScenarios. Zero means "not yet captured".
+struct Golden {
+  const char* name;
+  std::uint64_t fingerprint;
+};
+
+const Golden kGoldens[] = {
+    {"negotiator/parallel", 0xe34a2159b5098a59ULL},
+    {"negotiator/thin-clos", 0x540736afe4fdb863ULL},
+    {"negotiator/parallel/12x4", 0xa9a9d92033c13f1dULL},
+    {"negotiator/thin-clos/12x4", 0x4a3414eb71f1c09ULL},
+    {"negotiator/parallel/failures", 0x7323202f2b6adbecULL},
+    {"negotiator/thin-clos/failures", 0x4275f938fe8dee47ULL},
+    {"negotiator/parallel/hostplane", 0xbdf68b2fad161e6ULL},
+    {"negotiator/parallel/no-piggyback", 0x49ac8974d9c27c72ULL},
+    {"negotiator/parallel/no-rotate", 0x96f6d16de192236aULL},
+    {"negotiator/parallel/incast", 0x7ddea6cbf47e3210ULL},
+    {"oblivious/thin-clos/incast", 0xfc84ba908b7046b2ULL},
+    {"iterative/parallel", 0x6320c681c67baee5ULL},
+    {"iterative/thin-clos", 0x4147b13a7da8a490ULL},
+    {"informative-size/parallel", 0x15ed3c3fa584ca4aULL},
+    {"informative-size/thin-clos", 0xd0bcf6a961b196aULL},
+    {"informative-hol/parallel", 0x5ae48153e6c3437fULL},
+    {"informative-hol/thin-clos", 0xb4f7eb872e36ac3bULL},
+    {"stateful/parallel", 0xafca59c36da4a358ULL},
+    {"stateful/thin-clos", 0xd61609871c73067dULL},
+    {"selective-relay/thin-clos", 0x725961ad955fc3c3ULL},
+    {"projector/parallel", 0xb99f37d2dc0f10dULL},
+    {"projector/thin-clos", 0xed9edfa73e0f4f1cULL},
+    {"centralized/parallel", 0x78edfed1d81d8bd4ULL},
+    {"centralized/thin-clos", 0x9b887c1c8ae24e7dULL},
+    {"oblivious/thin-clos", 0x291b23611bd28451ULL},
+    {"oblivious/parallel", 0xf834a14746d25cb0ULL},
+    {"oblivious/thin-clos/light", 0x98c0ad814c105a9eULL},
+    {"oblivious/thin-clos/failures", 0xb8ed02f1685e16b2ULL},
+};
+
+static_assert(std::size(kScenarios) == std::size(kGoldens),
+              "goldens must stay index-aligned with scenarios");
+
+class SeedEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SeedEquivalence, GoldenFingerprint) {
+  const std::size_t i = GetParam();
+  const Scenario& sc = kScenarios[i];
+  ASSERT_STREQ(sc.name, kGoldens[i].name) << "scenario/golden misalignment";
+  const std::uint64_t got = run_fingerprint(sc);
+  if (std::getenv("NEG_PRINT_GOLDENS") != nullptr) {
+    std::printf("    {\"%s\", 0x%llxULL},\n", sc.name,
+                static_cast<unsigned long long>(got));
+    return;
+  }
+  EXPECT_EQ(got, kGoldens[i].fingerprint)
+      << sc.name << ": simulation output diverged from the seed engine";
+}
+
+// Same seed, same scenario, two fresh runs in one process: guards against
+// hidden global state leaking between runs (RNG, statics, caches).
+TEST(SeedEquivalence, RepeatRunsAreIdentical) {
+  const Scenario& sc = kScenarios[0];
+  EXPECT_EQ(run_fingerprint(sc), run_fingerprint(sc));
+  const Scenario& ob = kScenarios[24];
+  EXPECT_EQ(run_fingerprint(ob), run_fingerprint(ob));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SeedEquivalence,
+    ::testing::Range<std::size_t>(0, std::size(kScenarios)),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string n = kScenarios[info.param].name;
+      for (char& c : n) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace negotiator

@@ -108,13 +108,24 @@ TEST(ActiveSet, SortedViewAndMembership) {
   EXPECT_EQ(seen, (std::vector<TorId>{2, 7}));
 }
 
-TEST(ActiveSet, UpperBoundWrapsLikeStdSet) {
+TEST(ActiveSet, SuccessorQueriesScanTheBitmap) {
   ActiveSet set(16);
   for (TorId t : {3, 8, 12}) set.insert(t);
-  EXPECT_EQ(*set.upper_bound(3), 8);
-  EXPECT_EQ(*set.upper_bound(0), 3);
-  EXPECT_EQ(set.upper_bound(12), set.end());
-  EXPECT_EQ(set.upper_bound(15), set.end());
+  EXPECT_EQ(set.first_member(), 3);
+  EXPECT_EQ(set.next_member_after(3), 8);
+  EXPECT_EQ(set.next_member_after(0), 3);
+  EXPECT_EQ(set.next_member_after(-1), 3);
+  EXPECT_EQ(set.next_member_after(12), kInvalidTor);
+  EXPECT_EQ(set.next_member_after(15), kInvalidTor);
+  set.erase(8);
+  EXPECT_EQ(set.next_member_after(3), 12);
+  // Across word boundaries.
+  ActiveSet wide(200);
+  wide.insert(1);
+  wide.insert(130);
+  EXPECT_EQ(wide.next_member_after(1), 130);
+  EXPECT_EQ(wide.next_member_after(130), kInvalidTor);
+  EXPECT_EQ(ActiveSet(8).first_member(), kInvalidTor);
 }
 
 }  // namespace
