@@ -59,6 +59,8 @@ struct PerfRun {
   Nanos sim_ns;
   double wall_seconds;
   std::uint64_t events;
+  std::uint64_t dispatches;
+  std::uint64_t result_fingerprint;
   std::size_t flows;
   std::size_t completed;
 
@@ -69,6 +71,13 @@ struct PerfRun {
   double sim_ns_per_wall_sec() const {
     return wall_seconds > 0 ? static_cast<double>(sim_ns) / wall_seconds
                             : 0.0;
+  }
+  /// Logical (per-chunk) events per physical queue pop: the data plane's
+  /// mean batching factor (1.0 means no trains formed).
+  double events_per_dispatch() const {
+    return dispatches > 0
+               ? static_cast<double>(events) / static_cast<double>(dispatches)
+               : 0.0;
   }
 };
 
@@ -187,6 +196,44 @@ struct SweepPerf {
   }
 };
 
+/// FNV-1a over the run's complete observable output (every FCT sample plus
+/// the summary metrics) — the same recipe test_seed_equivalence pins, so a
+/// scaling row's fingerprint doubles as a bit-identity witness at the Ns
+/// the goldens don't cover.
+std::uint64_t result_fingerprint(Runner& runner, const RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_double = [&mix](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (const FctSample& s : runner.fabric().fct().samples()) {
+    mix(static_cast<std::uint64_t>(s.flow));
+    mix(static_cast<std::uint64_t>(s.size));
+    mix(static_cast<std::uint64_t>(s.arrival));
+    mix(static_cast<std::uint64_t>(s.fct));
+    mix(static_cast<std::uint64_t>(s.group));
+  }
+  mix(static_cast<std::uint64_t>(r.completed));
+  mix(static_cast<std::uint64_t>(r.backlog));
+  mix_double(r.goodput);
+  mix_double(r.mean_match_ratio);
+  mix_double(r.mice.p99_ns);
+  mix_double(r.mice.mean_ns);
+  mix_double(r.all_flows.p99_ns);
+  mix_double(r.all_flows.p50_ns);
+  mix_double(r.all_flows.mean_ns);
+  mix_double(r.all_flows.max_ns);
+  mix(runner.fabric().events_executed());
+  return h;
+}
+
 PerfRun measure_engine(const char* name, TopologyKind topo,
                        SchedulerKind sched, int n, double load,
                        Nanos duration) {
@@ -209,6 +256,8 @@ PerfRun measure_engine(const char* name, TopologyKind topo,
   out.sim_ns = duration;
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.events = runner.fabric().events_executed();
+  out.dispatches = runner.fabric().events_dispatched();
+  out.result_fingerprint = result_fingerprint(runner, r);
   out.flows = flows.size();
   out.completed = r.completed;
   return out;
@@ -256,17 +305,26 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                total_wall > 0
                    ? static_cast<double>(total_events) / total_wall
                    : 0.0);
-  // Scaling: events/sec vs N per system (the asymptotic record).
+  // Scaling: events/sec vs N per system (the asymptotic record). Each row
+  // carries its result fingerprint (bit-identity witness at this N for
+  // this sim_ns) and the physical dispatch count (events/dispatches = the
+  // chunk-train batching factor).
   std::fprintf(f, "  \"scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     const PerfRun& r = scaling[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"num_tors\": %d, "
-                 "\"events\": %llu, \"wall_seconds\": %.6f, "
-                 "\"events_per_sec\": %.1f}%s\n",
+                 "\"sim_ns\": %lld, \"events\": %llu, "
+                 "\"dispatches\": %llu, \"events_per_dispatch\": %.2f, "
+                 "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
                  r.name.c_str(), r.num_tors,
-                 static_cast<unsigned long long>(r.events), r.wall_seconds,
-                 r.events_per_sec(), i + 1 < scaling.size() ? "," : "");
+                 static_cast<long long>(r.sim_ns),
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.dispatches),
+                 r.events_per_dispatch(), r.wall_seconds, r.events_per_sec(),
+                 static_cast<unsigned long long>(r.result_fingerprint),
+                 i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
@@ -344,7 +402,8 @@ int main() {
   // --- Scaling dimension: events/sec vs N (reusing matching runs). ---
   print_header("Scaling: events/sec vs N");
   std::vector<PerfRun> scaling;
-  ConsoleTable scaling_table({"system", "N", "events", "wall s", "events/s"});
+  ConsoleTable scaling_table({"system", "N", "events", "dispatches",
+                              "ev/disp", "wall s", "events/s"});
   for (const int n : scaling_tor_counts()) {
     for (const auto& sys : systems) {
       const PerfRun* reuse = nullptr;
@@ -359,7 +418,10 @@ int main() {
                             : measure_engine(sys.name, sys.topo, sys.sched,
                                              n, load, duration);
       scaling_table.add_row({r.name, std::to_string(r.num_tors),
-                             std::to_string(r.events), fmt(r.wall_seconds, 3),
+                             std::to_string(r.events),
+                             std::to_string(r.dispatches),
+                             fmt(r.events_per_dispatch(), 2),
+                             fmt(r.wall_seconds, 3),
                              fmt(r.events_per_sec(), 0)});
       scaling.push_back(r);
     }

@@ -3,16 +3,26 @@
 
 Usage: check_perf.py <fresh.json> <committed-baseline.json>
 
-Gating: the fresh run's sweep determinism flag must be true (identical
-merged sweep results at every worker-thread count) — a mismatch means the
-engine's output depends on scheduling, which breaks the repo's
-bit-identical-for-fixed-seed contract. Exit code 1.
+Gating:
+  - the fresh run's sweep determinism flag must be true (identical merged
+    sweep results at every worker-thread count) — a mismatch means the
+    engine's output depends on scheduling, which breaks the repo's
+    bit-identical-for-fixed-seed contract;
+  - the fresh scaling section must exist, be non-empty, and carry a result
+    fingerprint per row;
+  - a scaling row's fingerprint must match the committed baseline's row
+    when both describe the same run (same system, num_tors AND sim_ns —
+    fingerprints hash the simulated output, so they only compare across
+    equal durations). A mismatch means simulated behaviour changed at an N
+    the golden tests don't cover.
+  Exit code 1 on any of these.
 
-Non-gating: if aggregate events/sec over the runs common to both files
-(matched by system name and num_tors; wall-clock noise on shared CI runners
-makes per-run comparisons meaningless) regressed more than 30% vs the
-committed baseline, a GitHub Actions ::warning:: is emitted but the check
-still passes — hardware varies across runners, so a human decides.
+Non-gating (::warning:: only — runner hardware varies, a human decides):
+  - aggregate events/sec over the runs common to both files (matched by
+    system name and num_tors; wall-clock noise on shared CI runners makes
+    per-run comparisons meaningless) regressed more than 30%;
+  - any individual scaling row regressed more than 30% vs its matched
+    baseline row (per-N trend, noisier than the aggregate).
 """
 import json
 import sys
@@ -41,6 +51,52 @@ def matched_aggregate(fresh, baseline):
     if matched == 0 or wall <= 0 or base_wall <= 0:
         return None
     return matched, events / wall, base_events / base_wall
+
+
+def check_scaling(fresh, baseline):
+    """Validates the scaling section; returns True when gating failed."""
+    rows = fresh.get("scaling", [])
+    if not rows:
+        print("::error::fresh perf JSON has no scaling section — "
+              "bench_perf_engine did not record events/sec vs N")
+        return True
+    failed = False
+    base_rows = {(r["name"], r["num_tors"]): r
+                 for r in baseline.get("scaling", [])}
+    compared = 0
+    for r in rows:
+        key = (r["name"], r["num_tors"])
+        if "fingerprint" not in r:
+            print(f"::error::scaling row {key} carries no result "
+                  "fingerprint — the bit-identity witness is missing")
+            failed = True
+            continue
+        b = base_rows.get(key)
+        if b is None:
+            continue
+        if b.get("fingerprint") and b.get("sim_ns") == r.get("sim_ns"):
+            compared += 1
+            if b["fingerprint"] != r["fingerprint"]:
+                print(f"::error::scaling fingerprint mismatch for {key} at "
+                      f"sim_ns={r['sim_ns']}: {r['fingerprint']} vs "
+                      f"committed {b['fingerprint']} — simulated output "
+                      "changed at an N the golden tests don't cover")
+                failed = True
+        if b.get("events_per_sec") and b.get("sim_ns") == r.get("sim_ns"):
+            # Same duration only: a 30 ms paper-scale run vs the 2 ms
+            # baseline has a different warm-up fraction and steady-state
+            # mix, so its events/sec is not comparable.
+            ratio = r["events_per_sec"] / b["events_per_sec"]
+            if ratio < 1.0 - REGRESSION_THRESHOLD:
+                print(f"::warning::scaling events/sec for {key} regressed "
+                      f"{(1.0 - ratio) * 100:.0f}% vs the committed "
+                      "baseline (non-gating: runner hardware varies)")
+    skipped = len(rows) - compared
+    note = (f" ({skipped} rows without a comparable baseline — different "
+            "sim_ns or not in the committed file)" if skipped else "")
+    print(f"scaling: {len(rows)} rows, {compared} fingerprints compared "
+          f"against the baseline{note}")
+    return failed
 
 
 def main():
@@ -72,6 +128,9 @@ def main():
         reason = sweep.get("skipped_reason")
         note = f" (multi-thread rows skipped: {reason})" if reason else ""
         print(f"determinism: PASS{note}")
+
+    if check_scaling(fresh, baseline):
+        failed = True
 
     agg = matched_aggregate(fresh, baseline)
     if agg is None:

@@ -4,7 +4,13 @@
 # against the paper's evaluation (§4).
 #
 # Usage:
-#   scripts/run_benches.sh [--threads N] [build-dir]
+#   scripts/run_benches.sh [--threads N] [--paper-scale] [build-dir]
+#
+# --paper-scale runs the full paper-fidelity sweep: NEG_DURATION_MS=30
+# (the paper's simulated duration, ~15x the smoke default) unless the
+# environment already pins a duration. Expect tens of minutes on one core;
+# the nightly CI job uses this mode and uploads the resulting
+# BENCH_perf.json.
 #
 # Environment:
 #   NEG_DURATION_MS    simulated milliseconds per run (default: each
@@ -20,6 +26,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 threads="${NEG_BENCH_THREADS:-}"
+paper_scale=0
 positional=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -28,10 +35,18 @@ while [[ $# -gt 0 ]]; do
       threads="$2"; shift 2 ;;
     --threads=*)
       threads="${1#--threads=}"; shift ;;
+    --paper-scale)
+      paper_scale=1; shift ;;
     *)
       positional+=("$1"); shift ;;
   esac
 done
+if [[ "${paper_scale}" -eq 1 ]]; then
+  # The paper's 30 ms simulated duration; an explicit NEG_DURATION_MS wins
+  # so partial paper-scale runs stay possible.
+  export NEG_DURATION_MS="${NEG_DURATION_MS:-30}"
+  echo "paper-scale mode: NEG_DURATION_MS=${NEG_DURATION_MS}"
+fi
 if [[ -z "${threads}" ]]; then
   threads="$(nproc 2>/dev/null || echo 1)"
 fi

@@ -31,6 +31,21 @@ using FlowId = std::int64_t;
 /// topology module.
 enum class LinkDirection { kEgress, kIngress };
 
+/// One relay chunk riding a batched chunk train: a slot's worth of
+/// first-hop relay data travels as one contiguous span of these records
+/// instead of one calendar event per chunk. Each record names its own
+/// intermediate, so a span can carry a whole slot (intermediates
+/// interleaved in scan order) or one (slot, intermediate) group. Lives
+/// here (like LinkDirection) so the event layer can carry train payloads
+/// and the relay queues can ingest spans without the two modules depending
+/// on each other.
+struct RelayTrainChunk {
+  TorId intermediate;
+  TorId final_dst;
+  FlowId flow;
+  Bytes bytes;
+};
+
 inline constexpr TorId kInvalidTor = -1;
 inline constexpr PortId kInvalidPort = -1;
 inline constexpr FlowId kInvalidFlow = -1;

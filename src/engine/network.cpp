@@ -71,6 +71,7 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
     for (TorId t = 0; t < config_.num_tors; ++t) {
       relay_.emplace_back(config_.num_tors);
     }
+    train_build_.resize(static_cast<std::size_t>(config_.num_tors));
   }
   if (config_.host_plane.enabled) {
     host_plane_ = std::make_unique<HostPlane>(
@@ -153,6 +154,25 @@ void NegotiatorFabric::on_relay_handoff(const RelayHandoffEvent& e,
                                                            e.flow, e.bytes,
                                                            now);
   relay_active_.insert(e.intermediate);
+}
+
+void NegotiatorFabric::on_relay_train(const RelayTrainEvent& e,
+                                      const RelayTrainChunk* chunks,
+                                      Nanos now) {
+  NEG_ASSERT(relay_enabled_, "relay train without selective relay");
+  // The scheduled phase ships one train per (slot, intermediate), so a
+  // span is normally a single run; the run loop keeps mixed spans correct
+  // anyway. Each run lands through the relay queue's bulk span ingest.
+  std::uint32_t i = 0;
+  while (i < e.count) {
+    const TorId inter = chunks[i].intermediate;
+    std::uint32_t j = i + 1;
+    while (j < e.count && chunks[j].intermediate == inter) ++j;
+    relay_[static_cast<std::size_t>(inter)].enqueue_span(chunks + i, j - i,
+                                                         now);
+    relay_active_.insert(inter);
+    i = j;
+  }
 }
 
 void NegotiatorFabric::add_flow(const Flow& flow) {
@@ -441,12 +461,14 @@ void NegotiatorFabric::run_scheduled_phase() {
         if (auto pkt = tor.dequeue_elephant_packet(m.relay_final_dst, cap)) {
           a.relay_remaining -= pkt->bytes;
           sync_source_activity(m.src);
-          goodput_.record_relay_reception(m.dst, pkt->bytes, arrival);
-          // The chunk lands in the intermediate's relay queue after the
-          // propagation delay — a typed event, no closure allocation.
-          sim_.events().schedule_relay_handoff(
-              arrival, RelayHandoffEvent{m.dst, m.relay_final_dst, pkt->flow,
-                                         pkt->bytes});
+          // Batched data plane: the chunk joins this slot's train towards
+          // the intermediate m.dst; the train ships once when the slot
+          // closes (same arrival time, same per-chunk order at the
+          // receiver's FIFO as the per-chunk events it replaces).
+          auto& train = train_build_[static_cast<std::size_t>(m.dst)];
+          if (train.empty()) train_touched_.push_back(m.dst);
+          train.push_back(RelayTrainChunk{m.dst, m.relay_final_dst,
+                                          pkt->flow, pkt->bytes});
         }
       }
       // Otherwise the link idles this slot: the cost of stateless
@@ -454,6 +476,16 @@ void NegotiatorFabric::run_scheduled_phase() {
       live_matches_[keep++] = index;
     }
     live_matches_.resize(keep);
+    // Close the slot: one event per (slot, intermediate); the goodput
+    // meter ingests each span at the shared arrival time.
+    for (const TorId inter : train_touched_) {
+      auto& train = train_build_[static_cast<std::size_t>(inter)];
+      goodput_.record_relay_train(inter, train.data(), train.size(), arrival);
+      sim_.events().schedule_relay_train(
+          arrival, train.data(), static_cast<std::uint32_t>(train.size()));
+      train.clear();
+    }
+    train_touched_.clear();
   }
   in_scheduled_phase_ = false;
 }

@@ -70,9 +70,17 @@ class FabricSim {
   /// Bytes still queued anywhere in the fabric.
   virtual Bytes total_backlog() const = 0;
 
-  /// Discrete events executed by the simulation clock so far (perf
-  /// accounting for bench_perf_engine).
+  /// Logical (per-chunk) events executed by the simulation clock so far
+  /// (perf accounting for bench_perf_engine; representation-independent,
+  /// so it survives event-batching refactors).
   virtual std::uint64_t events_executed() const = 0;
+
+  /// Physical queue pops behind events_executed(): one batched chunk
+  /// train counts once here but per chunk above, so executed/dispatched
+  /// is the data plane's mean batching factor.
+  virtual std::uint64_t events_dispatched() const {
+    return events_executed();
+  }
 
   /// Per-epoch accepts/grants ratio (Fig. 14); empty for the oblivious
   /// fabric, which has no matching step.
@@ -103,6 +111,9 @@ class NegotiatorFabric final : public FabricSim,
   Bytes total_backlog() const override;
   std::uint64_t events_executed() const override {
     return sim_.events().executed();
+  }
+  std::uint64_t events_dispatched() const override {
+    return sim_.events().dispatched();
   }
   std::vector<double> match_ratio_series() const override {
     return ratio_series_;
@@ -144,6 +155,8 @@ class NegotiatorFabric final : public FabricSim,
   void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override;
   void on_link_toggle(const LinkToggleEvent& e, Nanos now) override;
   void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
+  void on_relay_train(const RelayTrainEvent& e, const RelayTrainChunk* chunks,
+                      Nanos now) override;
 
   void run_epoch();
   void run_predefined_phase();
@@ -276,6 +289,14 @@ class NegotiatorFabric final : public FabricSim,
   /// Dirty sets of ToRs with pending direct data / parked relay bytes.
   ActiveSet active_sources_;
   ActiveSet relay_active_;
+
+  /// Per-slot chunk-train assembly for the selective-relay variant: the
+  /// scheduled phase's first-hop relay chunks accumulate per intermediate
+  /// (in match-visit order) and leave as one RelayTrainEvent per
+  /// (slot, intermediate) when the slot closes. Empty unless
+  /// relay_enabled_.
+  std::vector<std::vector<RelayTrainChunk>> train_build_;  // [intermediate]
+  std::vector<TorId> train_touched_;
 };
 
 /// Builds the fabric matching `config.scheduler` (NegotiaToR family or the

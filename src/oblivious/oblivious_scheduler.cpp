@@ -82,6 +82,22 @@ void ObliviousFabric::on_relay_handoff(const RelayHandoffEvent& e,
   busy_.insert(e.intermediate);
 }
 
+void ObliviousFabric::on_relay_train(const RelayTrainEvent& e,
+                                     const RelayTrainChunk* chunks,
+                                     Nanos now) {
+  // A slot train interleaves intermediates (chunks ride in the slot's
+  // (src, port) scan order), so the unpack is per chunk — exactly the
+  // per-event handoff body it replaces, minus the per-event queue
+  // overhead. Per-chunk FIFO order at every intermediate is preserved
+  // because the span keeps the order the per-chunk events fired in.
+  for (std::uint32_t i = 0; i < e.count; ++i) {
+    const RelayTrainChunk& c = chunks[i];
+    relay_[static_cast<std::size_t>(c.intermediate)].enqueue(
+        c.final_dst, c.flow, c.bytes, now);
+    busy_.insert(c.intermediate);
+  }
+}
+
 void ObliviousFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
                                           LinkDirection dir, bool fail) {
   sim_.events().schedule_link_toggle(when,
@@ -176,12 +192,19 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
       }
       if (auto pkt = tor.dequeue_packet(d, payload)) {
         goodput_.record_relay_reception(m, pkt->bytes, arrival);
-        sim_.events().schedule_relay_handoff(
-            arrival, RelayHandoffEvent{m, d, pkt->flow, pkt->bytes});
+        // Batched data plane: the chunk rides this slot's train instead of
+        // becoming its own calendar event — appended straight into the
+        // event queue's arena (zero staging), in the scan order the
+        // per-chunk events used to fire in.
+        sim_.events().append_train_chunk(
+            RelayTrainChunk{m, d, pkt->flow, pkt->bytes});
       }
     }
     update_busy(s);
   }
+  // Close the slot: everything appended above leaves as one train event
+  // at the shared arrival time (a no-op when nothing spread this slot).
+  sim_.events().commit_train(arrival);
 }
 
 void ObliviousFabric::run_until(Nanos t) {

@@ -44,6 +44,9 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   std::uint64_t events_executed() const override {
     return sim_.events().executed();
   }
+  std::uint64_t events_dispatched() const override {
+    return sim_.events().dispatched();
+  }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
 
@@ -54,6 +57,8 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override;
   void on_link_toggle(const LinkToggleEvent& e, Nanos now) override;
   void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
+  void on_relay_train(const RelayTrainEvent& e, const RelayTrainChunk* chunks,
+                      Nanos now) override;
 
   void run_slot(std::int64_t global_slot);
   /// Next backlogged destination after the spread pointer, skipping

@@ -20,7 +20,7 @@ void EventQueue::Calendar::mark(int bucket, bool nonempty) {
   }
 }
 
-void EventQueue::Calendar::push(Nanos when, std::uint64_t seq,
+void EventQueue::Calendar::push(Nanos when, std::uint64_t seq, Kind kind,
                                 const Payload& payload) {
   if (empty()) {
     // Snap the cursor to the pushed item's window.
@@ -32,7 +32,7 @@ void EventQueue::Calendar::push(Nanos when, std::uint64_t seq,
       static_cast<int>((when / kCalendarBucketNs) % kCalendarBuckets);
   Bucket& bucket = buckets[static_cast<std::size_t>(b)];
   if (bucket.items.empty()) mark(b, true);
-  const Item item{when, seq, payload};
+  const Item item{when, seq, kind, payload};
   if (b != cursor_ || bucket.items.empty() ||
       bucket.items.back().when < when ||
       (bucket.items.back().when == when && bucket.items.back().seq < seq)) {
@@ -156,7 +156,7 @@ void EventQueue::schedule_flow_arrival(Nanos when, std::int32_t flow_index) {
   Payload payload;
   payload.flow = FlowArrivalEvent{flow_index};
   if (arrivals_.accepts(when)) {
-    arrivals_.append(when, next_seq_++, payload);
+    arrivals_.append(when, next_seq_++, Kind::kFlowArrival, payload);
     return;
   }
   // Out-of-order arrival: fall back to a heap entry. Ordering is unchanged
@@ -185,7 +185,7 @@ void EventQueue::schedule_relay_handoff(Nanos when,
   Payload payload;
   payload.relay = ev;
   if (calendar_.accepts(when)) {
-    calendar_.push(when, next_seq_++, payload);
+    calendar_.push(when, next_seq_++, Kind::kRelayHandoff, payload);
     return;
   }
   // Beyond the calendar horizon (or behind its cursor): fall back to a
@@ -195,6 +195,52 @@ void EventQueue::schedule_relay_handoff(Nanos when,
   e.when = when;
   e.seq = next_seq_++;
   e.kind = Kind::kRelayHandoff;
+  e.payload = payload;
+  push_heap_entry(std::move(e));
+}
+
+void EventQueue::grow_arena() {
+  const std::size_t old_cap = train_arena_.size();
+  const std::size_t cap = old_cap == 0 ? 1024 : old_cap * 2;
+  std::vector<RelayTrainChunk> bigger(cap);
+  for (std::uint64_t i = arena_head_; i != arena_tail_; ++i) {
+    bigger[i & (cap - 1)] = train_arena_[i & (old_cap - 1)];
+  }
+  train_arena_ = std::move(bigger);
+}
+
+void EventQueue::schedule_relay_train(Nanos when,
+                                      const RelayTrainChunk* chunks,
+                                      std::uint32_t count) {
+  NEG_ASSERT(open_train_start_ == arena_tail_,
+             "schedule_relay_train while a train is being assembled");
+  NEG_ASSERT(count > 0, "a train carries at least one chunk");
+  for (std::uint32_t i = 0; i < count; ++i) append_train_chunk(chunks[i]);
+  open_train_start_ = arena_tail_;
+  schedule_train_span(when, arena_tail_ - count, count);
+}
+
+void EventQueue::commit_train(Nanos when) {
+  const std::uint64_t start = open_train_start_;
+  const std::uint64_t count = arena_tail_ - start;
+  if (count == 0) return;  // nothing appended since the last commit
+  open_train_start_ = arena_tail_;
+  schedule_train_span(when, start, static_cast<std::uint32_t>(count));
+}
+
+void EventQueue::schedule_train_span(Nanos when, std::uint64_t offset,
+                                     std::uint32_t count) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  Payload payload;
+  payload.train = RelayTrainEvent{offset, count};
+  if (calendar_.accepts(when)) {
+    calendar_.push(when, next_seq_++, Kind::kRelayTrain, payload);
+    return;
+  }
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kRelayTrain;
   e.payload = payload;
   push_heap_entry(std::move(e));
 }
@@ -209,33 +255,89 @@ Nanos EventQueue::next_time() const {
 }
 
 void EventQueue::dispatch(const Entry& e) {
-  ++executed_;
   switch (e.kind) {
     case Kind::kCallback:
+      ++executed_;
       e.cb(e.when);
       break;
     case Kind::kFlowArrival:
+      ++executed_;
       NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
       sink_->on_flow_arrival(e.payload.flow, e.when);
       break;
     case Kind::kLinkToggle:
+      ++executed_;
       NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
       sink_->on_link_toggle(e.payload.link, e.when);
       break;
     case Kind::kRelayHandoff:
+      ++executed_;
       NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
       sink_->on_relay_handoff(e.payload.relay, e.when);
+      break;
+    case Kind::kRelayTrain:
+      dispatch_train(e.payload.train, e.when);
       break;
   }
 }
 
-void EventQueue::dispatch_item(const Item& item, Kind kind) {
-  ++executed_;
+void EventQueue::dispatch_item(const Item& item) {
   NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
-  if (kind == Kind::kFlowArrival) {
-    sink_->on_flow_arrival(item.payload.flow, item.when);
-  } else {
-    sink_->on_relay_handoff(item.payload.relay, item.when);
+  switch (item.kind) {
+    case Kind::kFlowArrival:
+      ++executed_;
+      sink_->on_flow_arrival(item.payload.flow, item.when);
+      break;
+    case Kind::kRelayHandoff:
+      ++executed_;
+      sink_->on_relay_handoff(item.payload.relay, item.when);
+      break;
+    case Kind::kRelayTrain:
+      dispatch_train(item.payload.train, item.when);
+      break;
+    default:
+      NEG_ASSERT(false, "unexpected item kind in a streamed tier");
+  }
+}
+
+void EventQueue::dispatch_train(const RelayTrainEvent& e, Nanos when) {
+  NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+  // One executed count per carried chunk: the train is representation,
+  // not behaviour (see executed()).
+  executed_ += e.count;
+  // Copy the span out before freeing: the sink may schedule new trains
+  // mid-callback, which can grow (re-lay-out) or recycle the ring. The
+  // span may also wrap the ring, which the copy flattens.
+  train_scratch_.resize(e.count);
+  const std::size_t mask = train_arena_.size() - 1;
+  for (std::uint32_t i = 0; i < e.count; ++i) {
+    train_scratch_[i] = train_arena_[(e.offset + i) & mask];
+  }
+  free_train_span(e.offset, e.count);
+  sink_->on_relay_train(e, train_scratch_.data(), when);
+}
+
+void EventQueue::free_train_span(std::uint64_t offset, std::uint32_t count) {
+  if (offset != arena_head_) {
+    // Dispatched ahead of an older pending span: defer until the head
+    // catches up (rare — only out-of-time-order train schedules do this).
+    arena_deferred_.emplace_back(offset, count);
+    return;
+  }
+  arena_head_ += count;
+  // Absorb any deferred spans now contiguous with the head.
+  bool advanced = true;
+  while (advanced && !arena_deferred_.empty()) {
+    advanced = false;
+    for (std::size_t i = 0; i < arena_deferred_.size(); ++i) {
+      if (arena_deferred_[i].first == arena_head_) {
+        arena_head_ += arena_deferred_[i].second;
+        arena_deferred_[i] = arena_deferred_.back();
+        arena_deferred_.pop_back();
+        advanced = true;
+        break;
+      }
+    }
   }
 }
 
@@ -273,16 +375,17 @@ int EventQueue::earliest_tier(Nanos& when_out) {
 }
 
 void EventQueue::run_tier(int tier) {
+  ++dispatched_;
   if (tier == 1) {
     // Copy out before advancing: the sink may schedule new events, which
     // can recycle the stream storage when this was the last entry.
     const Item item = arrivals_.front();
     ++arrivals_.head;
-    dispatch_item(item, Kind::kFlowArrival);
+    dispatch_item(item);
   } else if (tier == 2) {
     const Item item = calendar_.front();
     calendar_.pop_front();
-    dispatch_item(item, Kind::kRelayHandoff);
+    dispatch_item(item);
   } else {
     // Entry is moved out before dispatch: the callback may schedule events.
     const Entry e = pop_heap_entry();
@@ -310,6 +413,10 @@ void EventQueue::clear() {
   heap_.clear();
   arrivals_.clear();
   calendar_.clear();
+  arena_head_ = 0;
+  arena_tail_ = 0;
+  open_train_start_ = 0;
+  arena_deferred_.clear();  // ring storage is kept, like the calendar's
 }
 
 }  // namespace negotiator

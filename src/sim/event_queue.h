@@ -26,11 +26,19 @@
 //    by every handoff ever scheduled, since it can only recycle storage
 //    when fully drained, which never happens mid-run). A handoff beyond
 //    the horizon or behind the cursor falls back to a heap entry.
+//  - Chunk *trains* collapse a whole slot's relay traffic towards one
+//    intermediate into a single calendar entry: the chunks live as a
+//    contiguous span in a recycled arena and the receiver unpacks them in
+//    one on_relay_train callback. The train is pure representation — it
+//    fires at the same (when, seq) position a per-chunk stream would, and
+//    executed() still advances per chunk — so fixed-seed output is
+//    bit-identical to the per-chunk encoding it replaces.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -58,12 +66,26 @@ struct RelayHandoffEvent {
   Bytes bytes;
 };
 
+/// A chunk *train*: a batch of relay chunks (typically one whole slot's
+/// worth, each chunk naming its own intermediate) travelling as a single
+/// calendar event. `offset`/`count` address a contiguous span in the
+/// queue's train arena; sinks receive the resolved span pointer alongside
+/// the event and never touch the arena directly.
+struct RelayTrainEvent {
+  std::uint64_t offset;  // absolute chunk index into the train arena ring
+  std::uint32_t count;
+};
+
 /// Receiver of typed events; implemented by the fabric engines.
 class EventSink {
  public:
   virtual void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) = 0;
   virtual void on_link_toggle(const LinkToggleEvent& e, Nanos now) = 0;
   virtual void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) = 0;
+  /// One batched train of relay chunks (span order == schedule order).
+  /// `chunks` points at e.count records valid for the duration of the call.
+  virtual void on_relay_train(const RelayTrainEvent& e,
+                              const RelayTrainChunk* chunks, Nanos now) = 0;
 
  protected:
   ~EventSink() = default;
@@ -88,6 +110,27 @@ class EventQueue {
   void schedule_link_toggle(Nanos when, const LinkToggleEvent& e);
   void schedule_relay_handoff(Nanos when, const RelayHandoffEvent& e);
 
+  /// Schedules one chunk train: the `count` chunks are copied into the
+  /// queue's train arena and delivered to the sink as one contiguous span
+  /// via on_relay_train. One calendar entry (one seq) regardless of train
+  /// length; executed() still advances by `count`, so per-chunk accounting
+  /// is representation-independent.
+  void schedule_relay_train(Nanos when, const RelayTrainChunk* chunks,
+                            std::uint32_t count);
+
+  /// Zero-copy train assembly for the hot path: append_train_chunk()
+  /// stages chunks directly in the arena (no fabric-side staging buffer)
+  /// and commit_train() turns everything appended since the last commit
+  /// into one scheduled train — a no-op when nothing was appended. The
+  /// oblivious fabric appends per spread decision and commits once per
+  /// rotor slot.
+  void append_train_chunk(const RelayTrainChunk& c) {
+    if (arena_tail_ - arena_head_ == train_arena_.size()) grow_arena();
+    train_arena_[arena_tail_ & (train_arena_.size() - 1)] = c;
+    ++arena_tail_;
+  }
+  void commit_train(Nanos when);
+
   bool empty() const {
     return heap_.empty() && arrivals_.drained() && calendar_.empty();
   }
@@ -107,8 +150,17 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
-  /// Events executed so far (perf accounting).
+  /// Logical events executed so far (perf accounting). Counts *simulated
+  /// per-chunk work*, independent of event representation: a chunk train
+  /// of k chunks advances this by k, exactly like the k per-chunk events
+  /// it replaces — so fixed-seed fingerprints that include this counter
+  /// survive the batching refactor.
   std::uint64_t executed() const { return executed_; }
+
+  /// Queue pops (calendar/stream/heap dispatches) so far. With chunk
+  /// trains this is the *physical* event count; executed() / dispatched()
+  /// is the mean batching factor.
+  std::uint64_t dispatched() const { return dispatched_; }
 
   /// Calendar-tier geometry (exposed for the property tests): entries more
   /// than `kCalendarBucketNs * kCalendarBuckets` ns ahead of the calendar
@@ -122,12 +174,14 @@ class EventQueue {
     kFlowArrival,
     kLinkToggle,
     kRelayHandoff,
+    kRelayTrain,
   };
 
   union Payload {
     FlowArrivalEvent flow;
     LinkToggleEvent link;
     RelayHandoffEvent relay;
+    RelayTrainEvent train;
     Payload() : flow{0} {}
   };
 
@@ -149,6 +203,7 @@ class EventQueue {
   struct Item {
     Nanos when;
     std::uint64_t seq;
+    Kind kind;
     Payload payload;
   };
 
@@ -165,12 +220,13 @@ class EventQueue {
     bool accepts(Nanos when) const {
       return drained() || when >= items.back().when;
     }
-    void append(Nanos when, std::uint64_t seq, const Payload& payload) {
+    void append(Nanos when, std::uint64_t seq, Kind kind,
+                const Payload& payload) {
       if (drained()) {  // fully consumed: recycle the storage
         items.clear();
         head = 0;
       }
-      items.push_back(Item{when, seq, payload});
+      items.push_back(Item{when, seq, kind, payload});
     }
     void clear() {
       items.clear();
@@ -208,7 +264,8 @@ class EventQueue {
              (when >= window_start_ &&
               when < window_start_ + kCalendarBucketNs * kCalendarBuckets);
     }
-    void push(Nanos when, std::uint64_t seq, const Payload& payload);
+    void push(Nanos when, std::uint64_t seq, Kind kind,
+              const Payload& payload);
     /// Earliest pending item. Requires !empty(); the cursor bucket is
     /// kept sorted and non-empty by push/pop, so this is a plain read.
     const Item& front() const;
@@ -224,7 +281,15 @@ class EventQueue {
   void push_heap_entry(Entry&& e);
   Entry pop_heap_entry();
   void dispatch(const Entry& e);
-  void dispatch_item(const Item& item, Kind kind);
+  void dispatch_item(const Item& item);
+  void dispatch_train(const RelayTrainEvent& e, Nanos when);
+  /// Schedules an already-arena-resident span as one train event.
+  void schedule_train_span(Nanos when, std::uint64_t offset,
+                           std::uint32_t count);
+  /// Returns the span's chunks to the arena ring (advances the head).
+  void free_train_span(std::uint64_t offset, std::uint32_t count);
+  /// Doubles the arena ring, re-laying live chunks out by absolute index.
+  void grow_arena();
   /// Tier (0 = heap, 1 = arrivals, 2 = calendar) holding the globally
   /// earliest (when, seq) event; requires !empty().
   int earliest_tier(Nanos& when_out);
@@ -233,9 +298,28 @@ class EventQueue {
 
   std::vector<Entry> heap_;  // binary heap ordered by heap_later
   Stream arrivals_;          // flow arrivals (pre-sorted workload traces)
-  Calendar calendar_;        // relay handoffs (bounded-horizon bucket ring)
+  Calendar calendar_;        // relay handoffs/trains (bucket ring)
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::uint64_t dispatched_{0};
+
+  /// The train arena: chunk spans of pending RelayTrainEvents, appended at
+  /// schedule time, freed at dispatch. A power-of-two ring addressed by
+  /// *absolute* chunk indices (head/tail grow monotonically; position =
+  /// index & mask), because spans stay in flight for a propagation delay —
+  /// many slots — so a linear buffer could never recycle. Trains fire in
+  /// (when, seq) order while fabrics append with non-decreasing `when`, so
+  /// frees are FIFO in practice and the ring's footprint settles at one
+  /// propagation delay's worth of chunks. Out-of-append-order dispatches
+  /// (possible through the public API) park on a deferred-free list until
+  /// the head catches up, trading a little memory for unconditional
+  /// correctness.
+  std::vector<RelayTrainChunk> train_arena_;
+  std::uint64_t arena_head_{0};       // absolute index of oldest live chunk
+  std::uint64_t arena_tail_{0};       // absolute index one past the newest
+  std::uint64_t open_train_start_{0};  // where the assembling train begins
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> arena_deferred_;
+  std::vector<RelayTrainChunk> train_scratch_;  // dispatch-time span copy
   EventSink* sink_{nullptr};
 };
 

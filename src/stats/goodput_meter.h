@@ -3,6 +3,7 @@
 // consume receiver bandwidth but are not goodput (§4.2, Fig. 18).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/assert.h"
@@ -34,6 +35,17 @@ class GoodputMeter {
           per_tor_relay_windows_[static_cast<std::size_t>(intermediate)],
           bytes, when);
     }
+  }
+
+  /// Span form of record_relay_reception for one assembled chunk train:
+  /// every chunk shares the train's reception time, so the meter ingests
+  /// the span as a single byte total (identical arithmetic to n per-chunk
+  /// calls — same measure-interval check, same window bucket).
+  void record_relay_train(TorId intermediate, const RelayTrainChunk* chunks,
+                          std::size_t n, Nanos when) {
+    Bytes total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += chunks[i].bytes;
+    record_relay_reception(intermediate, total, when);
   }
 
   void set_measure_interval(Nanos from, Nanos to);

@@ -34,7 +34,7 @@ class ChunkFifo {
   RelayChunk& back() { return buf_[wrap(head_ + size_ - 1)]; }
 
   void push_back(const RelayChunk& c) {
-    if (size_ == buf_.size()) grow();
+    if (size_ == buf_.size()) grow(size_ + 1);
     buf_[wrap(head_ + size_)] = c;
     ++size_;
   }
@@ -43,10 +43,40 @@ class ChunkFifo {
     --size_;
   }
 
+  /// Appends `n` chunks in order with a single capacity check — the bulk
+  /// ingest path for chunk trains (one growth decision per span instead of
+  /// one per chunk).
+  void push_span(const RelayChunk* chunks, std::size_t n) {
+    if (n == 0) return;
+    if (size_ + n > buf_.size()) grow(size_ + n);
+    std::size_t w = wrap(head_ + size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[w] = chunks[i];
+      w = wrap(w + 1);
+    }
+    size_ += n;
+  }
+
+  /// Pops up to `max_n` chunks from the front into `out` (preserving FIFO
+  /// order); returns the number popped.
+  std::size_t pop_span(RelayChunk* out, std::size_t max_n) {
+    const std::size_t n = std::min(max_n, size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = buf_[head_];
+      head_ = wrap(head_ + 1);
+    }
+    size_ -= n;
+    return n;
+  }
+
  private:
   std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
-  void grow() {
-    std::vector<RelayChunk> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+  /// Doubles capacity (power of two) until it holds `min_capacity`,
+  /// un-wrapping live chunks into the new buffer.
+  void grow(std::size_t min_capacity) {
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < min_capacity) cap *= 2;
+    std::vector<RelayChunk> bigger(cap);
     for (std::size_t i = 0; i < size_; ++i) {
       bigger[i] = buf_[wrap(head_ + i)];
     }
@@ -77,6 +107,45 @@ class RelayQueueSet {
     }
     queue_bytes_[static_cast<std::size_t>(final_dst)] += bytes;
     total_bytes_ += bytes;
+  }
+
+  /// Bulk ingest of one chunk train: enqueues `n` chunks (each bound for
+  /// its own final destination) exactly as n sequential enqueue() calls
+  /// would — same FIFO contents, same-flow coalescing included — but with
+  /// one occupancy/byte-counter delta per destination run and one ChunkFifo
+  /// capacity check per run instead of per chunk. All chunks share the
+  /// train's arrival time `now`.
+  void enqueue_span(const RelayTrainChunk* chunks, std::size_t n, Nanos now) {
+    Bytes train_total = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      const TorId d = chunks[i].final_dst;
+      auto& q = queues_[static_cast<std::size_t>(d)];
+      if (q.empty()) active_.insert(d);
+      // Collapse the run's chunks the way per-chunk enqueue would:
+      // consecutive same-flow chunks merge, and the run's first chunk(s)
+      // may merge into the FIFO's current tail.
+      span_scratch_.clear();
+      Bytes run_bytes = 0;
+      for (; i < n && chunks[i].final_dst == d; ++i) {
+        NEG_ASSERT(chunks[i].bytes > 0, "cannot relay zero bytes");
+        run_bytes += chunks[i].bytes;
+        if (!span_scratch_.empty() &&
+            span_scratch_.back().flow == chunks[i].flow) {
+          span_scratch_.back().bytes += chunks[i].bytes;
+        } else if (span_scratch_.empty() && !q.empty() &&
+                   q.back().flow == chunks[i].flow) {
+          q.back().bytes += chunks[i].bytes;
+        } else {
+          span_scratch_.push_back(
+              RelayChunk{chunks[i].flow, chunks[i].bytes, now});
+        }
+      }
+      q.push_span(span_scratch_.data(), span_scratch_.size());
+      queue_bytes_[static_cast<std::size_t>(d)] += run_bytes;
+      train_total += run_bytes;
+    }
+    total_bytes_ += train_total;
   }
 
   /// At most `max_payload` bytes of one flow bound for `final_dst`.
@@ -113,6 +182,7 @@ class RelayQueueSet {
   std::vector<Bytes> queue_bytes_;
   ActiveSet active_;
   Bytes total_bytes_{0};
+  std::vector<RelayChunk> span_scratch_;  // per-run staging for enqueue_span
 };
 
 }  // namespace negotiator

@@ -137,5 +137,93 @@ TEST(Failure, ObliviousFabricAlsoSurvivesFailures) {
   EXPECT_EQ(fab->fct().completed(), 1u);
 }
 
+// --- Regression pins for the batched (chunk-train) relay data plane ---
+
+TEST(Failure, DenseFallbackStillObservesEveryLinkUnderTrains) {
+  // The predefined phase falls back to the dense N×P scan on unhealthy
+  // slots so the fault detector observes *every* connection, not just the
+  // sparse interesting pairs. Pin that the fallback survived the train
+  // refactor: with traffic on only one pair, fail an unrelated ingress
+  // link — detection can only come from dense-scan dummy observations —
+  // then repair it; traffic must keep flowing the whole time and the
+  // unrelated pair's flow must complete (a stuck exclusion or a missed
+  // observation would strand the epoch pipeline).
+  NetworkConfig cfg = cfg16();
+  auto fab = make_fabric(cfg);
+  fab->add_flow(backlogged_pair(300'000));
+  fab->schedule_link_event(50'000, 9, 3, LinkDirection::kIngress, true);
+  fab->schedule_link_event(900'000, 9, 3, LinkDirection::kIngress, false);
+  fab->run_until(900'001 + 300 * cfg.epoch_length_ns());
+  EXPECT_EQ(fab->links().failed_count(), 0);
+  EXPECT_EQ(fab->fct().completed(), 1u);
+  EXPECT_EQ(fab->total_backlog(), 0);
+}
+
+TEST(Failure, SelectiveRelayTrainsSurviveFailuresAndStayDeterministic) {
+  // The selective-relay variant ships first-hop chunks as per-(slot,
+  // intermediate) trains. Under mid-run fail + repair, the fabric must
+  // drain (no chunk lost in the batched representation) and two identical
+  // runs must agree event-for-event (per-chunk executed() accounting).
+  auto run_once = [](std::uint64_t seed) {
+    NetworkConfig cfg = cfg16();
+    cfg.scheduler = SchedulerKind::kNegotiatorSelectiveRelay;
+    cfg.topology = TopologyKind::kThinClos;
+    auto fab = make_fabric(cfg);
+    const auto sizes = SizeDistribution::hadoop();
+    WorkloadGenerator gen(sizes, cfg.num_tors, cfg.host_rate(), 0.9,
+                          Rng(seed));
+    fab->add_flows(gen.generate(0, 1'000'000));
+    fab->schedule_link_event(100'000, 3, 1, LinkDirection::kEgress, true);
+    fab->schedule_link_event(120'000, 7, 2, LinkDirection::kIngress, true);
+    fab->schedule_link_event(600'000, 3, 1, LinkDirection::kEgress, false);
+    fab->schedule_link_event(650'000, 7, 2, LinkDirection::kIngress, false);
+    fab->run_until(1'000'000);
+    fab->run_until(1'000'000 + 2'000 * cfg.epoch_length_ns());
+    return std::tuple<std::size_t, Bytes, std::uint64_t>{
+        fab->fct().completed(), fab->total_backlog(),
+        fab->events_executed()};
+  };
+  const auto [completed, backlog, events] = run_once(77);
+  EXPECT_GT(completed, 0u);
+  EXPECT_EQ(backlog, 0) << "relay chunks stranded after fail/repair";
+  EXPECT_EQ(run_once(77), std::make_tuple(completed, backlog, events))
+      << "train data plane broke fixed-seed determinism";
+}
+
+TEST(Failure, ObliviousTrainsUnderFailuresConserveEveryChunk) {
+  // Relay-heavy oblivious workload with links failing and recovering
+  // mid-run: whole slot trains must not lose or duplicate chunks across
+  // the unhealthy window (delivered flows + residual backlog must account
+  // for every injected byte).
+  NetworkConfig cfg = cfg16();
+  cfg.scheduler = SchedulerKind::kOblivious;
+  cfg.topology = TopologyKind::kThinClos;
+  auto fab = make_fabric(cfg);
+  Bytes injected = 0;
+  FlowId id = 0;
+  for (TorId s = 0; s < cfg.num_tors; ++s) {
+    for (TorId d = 0; d < cfg.num_tors; ++d) {
+      if (s == d) continue;
+      Flow f;
+      f.id = id++;
+      f.src = s;
+      f.dst = d;
+      f.size = 30'000;
+      f.arrival = (id % 7) * 1'000;
+      injected += f.size;
+      fab->add_flow(f);
+    }
+  }
+  Rng rng(11);
+  inject_random_failures(*fab, 0.15, 200'000, 2'000'000, rng);
+  fab->run_until(4'000'000);
+  Bytes delivered = 0;
+  for (const FctSample& s : fab->fct().samples()) delivered += s.size;
+  EXPECT_EQ(fab->fct().completed(), static_cast<std::size_t>(id))
+      << "every flow must finish after repair";
+  EXPECT_EQ(delivered + fab->total_backlog(), injected)
+      << "chunk train lost or duplicated bytes";
+}
+
 }  // namespace
 }  // namespace negotiator

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace negotiator {
 namespace {
 
@@ -61,6 +66,161 @@ TEST(RelayQueue, TotalsConserved) {
     while (auto c = r.dequeue_packet(d, 1'000)) out += c->bytes;
   }
   EXPECT_EQ(in, out);
+  EXPECT_EQ(r.total_bytes(), 0);
+}
+
+// --- ChunkFifo edge cases (the ring under the relay queues) ---
+
+TEST(ChunkFifo, WrapAroundAtCapacityPreservesFifoOrder) {
+  // Fill to the initial capacity (8), drain a prefix, refill past the
+  // physical end: the ring must wrap without growing or reordering.
+  ChunkFifo f;
+  for (FlowId i = 0; i < 8; ++i) f.push_back(RelayChunk{i, 10 + i, i});
+  for (int i = 0; i < 5; ++i) f.pop_front();
+  for (FlowId i = 8; i < 13; ++i) f.push_back(RelayChunk{i, 10 + i, i});
+  ASSERT_EQ(f.size(), 8u);
+  for (FlowId i = 5; i < 13; ++i) {
+    EXPECT_EQ(f.front().flow, i);
+    EXPECT_EQ(f.front().bytes, 10 + i);
+    f.pop_front();
+  }
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(ChunkFifo, GrowthWhileNonEmptyAndWrappedUnwraps) {
+  // Grow while the live span wraps the physical end: the contents must
+  // come out in the same order after re-layout.
+  ChunkFifo f;
+  for (FlowId i = 0; i < 8; ++i) f.push_back(RelayChunk{i, 1, 0});
+  for (int i = 0; i < 6; ++i) f.pop_front();   // head now at index 6
+  for (FlowId i = 8; i < 14; ++i) f.push_back(RelayChunk{i, 1, 0});  // wraps
+  for (FlowId i = 14; i < 30; ++i) f.push_back(RelayChunk{i, 1, 0});  // grows
+  ASSERT_EQ(f.size(), 24u);
+  for (FlowId i = 6; i < 30; ++i) {
+    EXPECT_EQ(f.front().flow, i);
+    f.pop_front();
+  }
+}
+
+TEST(ChunkFifo, PushSpanCrossesTheWrapBoundary) {
+  ChunkFifo f;
+  for (FlowId i = 0; i < 6; ++i) f.push_back(RelayChunk{i, 1, 0});
+  for (int i = 0; i < 4; ++i) f.pop_front();
+  // 2 live at positions 4-5; a span of 5 lands across the physical end.
+  std::vector<RelayChunk> span;
+  for (FlowId i = 6; i < 11; ++i) span.push_back(RelayChunk{i, 2, 1});
+  f.push_span(span.data(), span.size());
+  ASSERT_EQ(f.size(), 7u);
+  for (FlowId i = 4; i < 11; ++i) {
+    EXPECT_EQ(f.front().flow, i);
+    f.pop_front();
+  }
+}
+
+TEST(ChunkFifo, PushSpanGrowsOnceForTheWholeSpan) {
+  ChunkFifo f;
+  std::vector<RelayChunk> span;
+  for (FlowId i = 0; i < 1'000; ++i) span.push_back(RelayChunk{i, i + 1, i});
+  f.push_span(span.data(), span.size());
+  ASSERT_EQ(f.size(), 1'000u);
+  RelayChunk out[1'000];
+  EXPECT_EQ(f.pop_span(out, 1'000), 1'000u);
+  for (FlowId i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(out[i].flow, i);
+    EXPECT_EQ(out[i].bytes, i + 1);
+  }
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(ChunkFifo, PopSpanIsBoundedBySizeAndKeepsTheRest) {
+  ChunkFifo f;
+  for (FlowId i = 0; i < 5; ++i) f.push_back(RelayChunk{i, 1, 0});
+  RelayChunk out[8];
+  EXPECT_EQ(f.pop_span(out, 3), 3u);
+  EXPECT_EQ(out[0].flow, 0);
+  EXPECT_EQ(out[2].flow, 2);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.front().flow, 3);
+  EXPECT_EQ(f.pop_span(out, 8), 2u) << "pop_span caps at the live count";
+  EXPECT_EQ(out[1].flow, 4);
+  EXPECT_EQ(f.pop_span(out, 8), 0u);
+}
+
+TEST(ChunkFifo, EmptySpanOpsAreNoOps) {
+  ChunkFifo f;
+  f.push_span(nullptr, 0);
+  EXPECT_TRUE(f.empty());
+  RelayChunk c{1, 2, 3};
+  EXPECT_EQ(f.pop_span(&c, 0), 0u);
+}
+
+// --- Bulk train ingest (enqueue_span) ---
+
+TEST(RelayQueue, EnqueueSpanMatchesSequentialEnqueues) {
+  // Property: bulk span ingest must be observationally identical to
+  // per-chunk enqueue — same totals, same per-destination bytes, same
+  // drain order, same coalescing — across random trains.
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    RelayQueueSet bulk(6);
+    RelayQueueSet seq(6);
+    Nanos now = 0;
+    for (int train = 0; train < 8; ++train) {
+      std::vector<RelayTrainChunk> chunks;
+      const int n = 1 + static_cast<int>(rng.next_below(12));
+      for (int i = 0; i < n; ++i) {
+        chunks.push_back(RelayTrainChunk{
+            /*intermediate=*/0, static_cast<TorId>(rng.next_below(6)),
+            static_cast<FlowId>(rng.next_below(5)),
+            static_cast<Bytes>(1 + rng.next_below(1'000))});
+      }
+      bulk.enqueue_span(chunks.data(), chunks.size(), now);
+      for (const RelayTrainChunk& c : chunks) {
+        seq.enqueue(c.final_dst, c.flow, c.bytes, now);
+      }
+      now += 100;
+    }
+    ASSERT_EQ(bulk.total_bytes(), seq.total_bytes()) << "round " << round;
+    for (TorId d = 0; d < 6; ++d) {
+      ASSERT_EQ(bulk.bytes_for(d), seq.bytes_for(d)) << "round " << round;
+      ASSERT_EQ(bulk.active_destinations().contains(d),
+                seq.active_destinations().contains(d))
+          << "round " << round;
+      while (true) {
+        auto a = bulk.dequeue_packet(d, 512);
+        auto b = seq.dequeue_packet(d, 512);
+        ASSERT_EQ(a.has_value(), b.has_value()) << "round " << round;
+        if (!a) break;
+        ASSERT_EQ(a->flow, b->flow) << "round " << round;
+        ASSERT_EQ(a->bytes, b->bytes) << "round " << round;
+        ASSERT_EQ(a->received_at, b->received_at) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(RelayQueue, EnqueueSpanCoalescesIntoTheFifoTail) {
+  RelayQueueSet r(4);
+  r.enqueue(2, 7, 100, 0);
+  const RelayTrainChunk chunks[] = {
+      {0, 2, 7, 50},   // merges into the tail chunk of flow 7
+      {0, 2, 7, 25},   // still the same tail
+      {0, 2, 9, 10},   // new chunk
+      {0, 1, 9, 30},   // different destination
+  };
+  r.enqueue_span(chunks, 4, 5);
+  EXPECT_EQ(r.bytes_for(2), 185);
+  EXPECT_EQ(r.bytes_for(1), 30);
+  auto head = r.dequeue_packet(2, 10'000);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->flow, 7);
+  EXPECT_EQ(head->bytes, 175) << "all three flow-7 chunks coalesced";
+  EXPECT_EQ(head->received_at, 0) << "coalescing keeps the first arrival";
+}
+
+TEST(RelayQueue, EnqueueSpanEmptyIsANoOp) {
+  RelayQueueSet r(4);
+  r.enqueue_span(nullptr, 0, 0);
   EXPECT_EQ(r.total_bytes(), 0);
 }
 
