@@ -17,9 +17,13 @@
 // determinism contract (identical output regardless of schedule).
 //
 // A third section records the *scaling* dimension: events/sec for every
-// fig9 system at N in {16, 64, 128, 256}, so the per-event cost trend vs
-// fabric size (the asymptotic claim of the sparse epoch pipeline) is a
-// recorded artifact rather than a one-off measurement.
+// fig9 system at N in {16, 64, 128, 256} — plus an oblivious-only tail at
+// N = 512 (the all-to-all VLB data plane is the densest per-slot walk, so
+// it gets the largest-N row) — so the per-event cost trend vs fabric size
+// (the asymptotic claim of the sparse epoch pipeline) is a recorded
+// artifact rather than a one-off measurement. Each row also reports the
+// delivery-span batching factor deliveries/dispatch (how many final-hop
+// deliveries the slot-close span flush coalesces per walk).
 //
 // Environment:
 //   NEG_DURATION_MS    simulated milliseconds per run (default 2.0)
@@ -27,6 +31,8 @@
 //   NEG_PERF_SCALING_TORS  N list for the scaling section
 //                      (default "16,64,128,256"; lists sharing N with
 //                      NEG_PERF_TORS reuse those runs)
+//   NEG_PERF_SCALING_OBLIVIOUS_TORS  extra N list run for the oblivious
+//                      system only (default "512")
 //   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
 //   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
 //                      (default "1,2,<hardware concurrency>"; on a 1-core
@@ -60,6 +66,8 @@ struct PerfRun {
   double wall_seconds;
   std::uint64_t events;
   std::uint64_t dispatches;
+  std::uint64_t deliveries;
+  std::uint64_t delivery_dispatches;
   std::uint64_t result_fingerprint;
   std::size_t flows;
   std::size_t completed;
@@ -77,6 +85,14 @@ struct PerfRun {
   double events_per_dispatch() const {
     return dispatches > 0
                ? static_cast<double>(events) / static_cast<double>(dispatches)
+               : 0.0;
+  }
+  /// Final-hop deliveries per span flush: the delivery-side batching
+  /// factor (1.0 means every slot delivered at most one packet).
+  double deliveries_per_dispatch() const {
+    return delivery_dispatches > 0
+               ? static_cast<double>(deliveries) /
+                     static_cast<double>(delivery_dispatches)
                : 0.0;
   }
 };
@@ -106,6 +122,10 @@ std::vector<int> tor_counts() {
 
 std::vector<int> scaling_tor_counts() {
   return parse_int_list("NEG_PERF_SCALING_TORS", "16,64,128,256", 2);
+}
+
+std::vector<int> scaling_oblivious_tor_counts() {
+  return parse_int_list("NEG_PERF_SCALING_OBLIVIOUS_TORS", "512", 2);
 }
 
 /// Why the multi-thread sweep rows were skipped; empty when they ran.
@@ -257,6 +277,8 @@ PerfRun measure_engine(const char* name, TopologyKind topo,
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.events = runner.fabric().events_executed();
   out.dispatches = runner.fabric().events_dispatched();
+  out.deliveries = runner.fabric().deliveries();
+  out.delivery_dispatches = runner.fabric().delivery_dispatches();
   out.result_fingerprint = result_fingerprint(runner, r);
   out.flows = flows.size();
   out.completed = r.completed;
@@ -316,13 +338,19 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                  "    {\"name\": \"%s\", \"num_tors\": %d, "
                  "\"sim_ns\": %lld, \"events\": %llu, "
                  "\"dispatches\": %llu, \"events_per_dispatch\": %.2f, "
+                 "\"deliveries\": %llu, \"delivery_dispatches\": %llu, "
+                 "\"deliveries_per_dispatch\": %.2f, "
                  "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
                  "\"fingerprint\": \"%016llx\"}%s\n",
                  r.name.c_str(), r.num_tors,
                  static_cast<long long>(r.sim_ns),
                  static_cast<unsigned long long>(r.events),
                  static_cast<unsigned long long>(r.dispatches),
-                 r.events_per_dispatch(), r.wall_seconds, r.events_per_sec(),
+                 r.events_per_dispatch(),
+                 static_cast<unsigned long long>(r.deliveries),
+                 static_cast<unsigned long long>(r.delivery_dispatches),
+                 r.deliveries_per_dispatch(), r.wall_seconds,
+                 r.events_per_sec(),
                  static_cast<unsigned long long>(r.result_fingerprint),
                  i + 1 < scaling.size() ? "," : "");
   }
@@ -403,7 +431,18 @@ int main() {
   print_header("Scaling: events/sec vs N");
   std::vector<PerfRun> scaling;
   ConsoleTable scaling_table({"system", "N", "events", "dispatches",
-                              "ev/disp", "wall s", "events/s"});
+                              "ev/disp", "deliv/disp", "wall s",
+                              "events/s"});
+  const auto add_scaling_row = [&](const PerfRun& r) {
+    scaling_table.add_row({r.name, std::to_string(r.num_tors),
+                           std::to_string(r.events),
+                           std::to_string(r.dispatches),
+                           fmt(r.events_per_dispatch(), 2),
+                           fmt(r.deliveries_per_dispatch(), 2),
+                           fmt(r.wall_seconds, 3),
+                           fmt(r.events_per_sec(), 0)});
+    scaling.push_back(r);
+  };
   for (const int n : scaling_tor_counts()) {
     for (const auto& sys : systems) {
       const PerfRun* reuse = nullptr;
@@ -413,18 +452,27 @@ int main() {
           break;
         }
       }
-      const PerfRun r = reuse != nullptr
-                            ? *reuse
-                            : measure_engine(sys.name, sys.topo, sys.sched,
-                                             n, load, duration);
-      scaling_table.add_row({r.name, std::to_string(r.num_tors),
-                             std::to_string(r.events),
-                             std::to_string(r.dispatches),
-                             fmt(r.events_per_dispatch(), 2),
-                             fmt(r.wall_seconds, 3),
-                             fmt(r.events_per_sec(), 0)});
-      scaling.push_back(r);
+      add_scaling_row(reuse != nullptr
+                          ? *reuse
+                          : measure_engine(sys.name, sys.topo, sys.sched, n,
+                                           load, duration));
     }
+  }
+  // Oblivious-only tail: the VLB data plane touches every port of every
+  // busy ToR each slot, so its per-slot walk is the densest in the repo —
+  // the largest-N row records how the SoA store and span delivery hold up.
+  const auto& oblivious_sys = systems[2];
+  for (const int n : scaling_oblivious_tor_counts()) {
+    const PerfRun* reuse = nullptr;
+    for (const PerfRun& r : scaling) {
+      if (r.num_tors == n && r.name == oblivious_sys.name) {
+        reuse = &r;
+        break;
+      }
+    }
+    if (reuse != nullptr) continue;  // already covered by the full grid
+    add_scaling_row(measure_engine(oblivious_sys.name, oblivious_sys.topo,
+                                   oblivious_sys.sched, n, load, duration));
   }
   scaling_table.print();
 

@@ -22,12 +22,20 @@ Non-gating (::warning:: only — runner hardware varies, a human decides):
     system name and num_tors; wall-clock noise on shared CI runners makes
     per-run comparisons meaningless) regressed more than 30%;
   - any individual scaling row regressed more than 30% vs its matched
-    baseline row (per-N trend, noisier than the aggregate).
+    baseline row (per-N trend, noisier than the aggregate);
+  - a system's scaling *shape* — its N=256 events/sec divided by its N=16
+    events/sec at the same sim_ns — degraded more than 15% vs the committed
+    baseline. Absolute events/sec moves with the runner, but the large-N /
+    small-N ratio mostly cancels hardware speed, so a shape drop means the
+    per-event cost curve itself got steeper with fabric size.
 """
 import json
 import sys
 
 REGRESSION_THRESHOLD = 0.30
+SHAPE_THRESHOLD = 0.15
+SHAPE_SMALL_N = 16
+SHAPE_LARGE_N = 256
 
 
 def load(path):
@@ -99,6 +107,46 @@ def check_scaling(fresh, baseline):
     return failed
 
 
+def scaling_shapes(rows):
+    """Per (system, sim_ns): events/sec at N=256 over events/sec at N=16."""
+    by_key = {(r["name"], r["num_tors"], r.get("sim_ns")): r for r in rows}
+    shapes = {}
+    for (name, n, sim_ns), small in by_key.items():
+        if n != SHAPE_SMALL_N:
+            continue
+        large = by_key.get((name, SHAPE_LARGE_N, sim_ns))
+        if (large is None or not small.get("events_per_sec")
+                or not large.get("events_per_sec")):
+            continue
+        shapes[(name, sim_ns)] = (large["events_per_sec"]
+                                  / small["events_per_sec"])
+    return shapes
+
+
+def check_scaling_shape(fresh, baseline):
+    """Warns (non-gating) when the N=256/N=16 events/sec ratio degrades."""
+    fresh_shapes = scaling_shapes(fresh.get("scaling", []))
+    base_shapes = scaling_shapes(baseline.get("scaling", []))
+    compared = 0
+    for key in sorted(fresh_shapes):
+        base_ratio = base_shapes.get(key)
+        if base_ratio is None or base_ratio <= 0:
+            continue
+        compared += 1
+        rel = fresh_shapes[key] / base_ratio
+        name, sim_ns = key
+        if rel < 1.0 - SHAPE_THRESHOLD:
+            print(f"::warning::scaling shape for {name} at sim_ns={sim_ns} "
+                  f"degraded {(1.0 - rel) * 100:.0f}%: "
+                  f"N={SHAPE_LARGE_N}/N={SHAPE_SMALL_N} events/sec ratio is "
+                  f"{fresh_shapes[key]:.3f} vs baseline {base_ratio:.3f} — "
+                  "the per-event cost curve got steeper with fabric size "
+                  "(non-gating: a human decides)")
+    if compared:
+        print(f"scaling shape: {compared} N={SHAPE_LARGE_N}/N="
+              f"{SHAPE_SMALL_N} ratios compared against the baseline")
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
@@ -131,6 +179,7 @@ def main():
 
     if check_scaling(fresh, baseline):
         failed = True
+    check_scaling_shape(fresh, baseline)
 
     agg = matched_aggregate(fresh, baseline)
     if agg is None:

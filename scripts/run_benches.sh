@@ -75,6 +75,28 @@ echo "sweep threads: ${NEG_BENCH_THREADS}"
 # every PR's numbers are easy to diff.
 export NEG_PERF_JSON="${NEG_PERF_JSON:-${repo_root}/BENCH_perf.json}"
 
+# Every bench/bench_*.cpp source must have produced a binary: a silent
+# glob over whatever happens to exist would let a bench dropped from the
+# build (or a broken add_executable) pass unnoticed and quietly shrink the
+# recorded trajectory. bench_micro_gbench is the one sanctioned exception —
+# CMake gates it on find_package(benchmark), which the container may lack.
+missing=0
+for src in "${repo_root}"/bench/bench_*.cpp; do
+  name="$(basename "${src}" .cpp)"
+  if [[ ! -x "${bench_dir}/${name}" ]]; then
+    if [[ "${name}" == "bench_micro_gbench" ]]; then
+      echo "note: ${name} not built (Google Benchmark not found); skipping"
+    else
+      echo "error: expected bench binary missing: ${bench_dir}/${name}" >&2
+      missing=$((missing + 1))
+    fi
+  fi
+done
+if [[ "${missing}" -gt 0 ]]; then
+  echo "error: ${missing} bench binaries missing — rebuild: cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
 shopt -s nullglob
 failures=0
 ran=0

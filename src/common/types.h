@@ -46,6 +46,20 @@ struct RelayTrainChunk {
   Bytes bytes;
 };
 
+/// One staged final-destination delivery riding a slot's coalesced
+/// delivery walk: the fabrics dequeue inline (queue state must stay live
+/// for same-slot reads) but park the downstream effects — flow credit, FCT
+/// completion, goodput accounting — as one of these records, then flush the
+/// slot's records through FlowTable::credit_span /
+/// GoodputMeter::record_delivery_span in dequeue order. Lives here (like
+/// RelayTrainChunk) so the engine and stats layers can share spans without
+/// depending on each other.
+struct DeliveryRecord {
+  FlowId flow;  // dense FlowTable index
+  TorId dst;    // final destination ToR
+  Bytes bytes;
+};
+
 inline constexpr TorId kInvalidTor = -1;
 inline constexpr PortId kInvalidPort = -1;
 inline constexpr FlowId kInvalidFlow = -1;

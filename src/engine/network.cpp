@@ -38,6 +38,24 @@ void FlowTable::credit(int index, Bytes bytes, Nanos arrival,
   }
 }
 
+void FlowTable::credit_span(const DeliveryRecord* records, std::size_t n,
+                            Nanos arrival, FctRecorder& fct) {
+  completed_scratch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    State& s = states_[static_cast<std::size_t>(records[i].flow)];
+    NEG_ASSERT(!s.done, "delivery to a completed flow");
+    s.delivered += records[i].bytes;
+    NEG_ASSERT(s.delivered <= s.flow.size, "over-delivery");
+    if (s.delivered == s.flow.size) {
+      s.done = true;
+      completed_scratch_.push_back(
+          FctSample{s.flow.id, s.flow.size, s.flow.arrival,
+                    arrival - s.flow.arrival, s.flow.group});
+    }
+  }
+  fct.record_span(completed_scratch_.data(), completed_scratch_.size());
+}
+
 // --------------------------------------------------------- NegotiatorFabric
 
 NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
@@ -190,11 +208,21 @@ void NegotiatorFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
                                      LinkToggleEvent{tor, port, dir, fail});
 }
 
-void NegotiatorFabric::deliver_direct(int flow_index, TorId dst, Bytes bytes,
-                                      Nanos arrival) {
-  flow_table_.credit(flow_index, bytes, arrival, fct_);
-  goodput_.record_delivery(dst, bytes, arrival);
-  if (host_plane_) host_plane_->on_delivery(dst, bytes, arrival);
+void NegotiatorFabric::flush_deliveries(Nanos arrival) {
+  if (delivery_build_.empty()) return;
+  const std::size_t n = delivery_build_.size();
+  flow_table_.credit_span(delivery_build_.data(), n, arrival, fct_);
+  goodput_.record_delivery_span(delivery_build_.data(), n, arrival);
+  if (host_plane_) {
+    // Same per-record order and shared timestamp as the inline calls the
+    // span replaces, so the receive-buffer trajectory is identical.
+    for (const DeliveryRecord& r : delivery_build_) {
+      host_plane_->on_delivery(r.dst, r.bytes, arrival);
+    }
+  }
+  deliveries_ += n;
+  ++delivery_dispatches_;
+  delivery_build_.clear();
 }
 
 void NegotiatorFabric::run_until(Nanos t) {
@@ -269,7 +297,7 @@ void NegotiatorFabric::gather_predefined_pair(TorId src, TorId dst) {
 }
 
 void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
-                                             bool healthy, Nanos data_end) {
+                                             bool healthy) {
   bool up = true;
   if (!healthy) {
     up = links_.up_raw(c.tx_link) && links_.up_raw(c.rx_link);
@@ -293,8 +321,7 @@ void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
     NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
     ++piggyback_packets_;
     sync_source_activity(c.src);
-    deliver_direct(static_cast<int>(pkt->flow), c.dst, pkt->bytes,
-                   data_end + config_.propagation_delay_ns);
+    stage_delivery(static_cast<int>(pkt->flow), c.dst, pkt->bytes);
   } else if (!faults_.tx_excluded(c.src, c.tx) &&
              !faults_.rx_excluded(c.dst, c.rx)) {
     // Undetected failure: the packet is transmitted into a dark fibre
@@ -305,7 +332,7 @@ void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
   }
 }
 
-void NegotiatorFabric::run_predefined_slot_dense(int slot, Nanos data_end) {
+void NegotiatorFabric::run_predefined_slot_dense(int slot) {
   // Unhealthy slot: the fault detector must observe every connection, so
   // resolve the full N×P slot on the fly (this path only runs while links
   // are down or the fault plane is settling).
@@ -315,8 +342,7 @@ void NegotiatorFabric::run_predefined_slot_dense(int slot, Nanos data_end) {
     for (PortId p = 0; p < ports; ++p) {
       const TorId d = schedule_.dst_of(s, p, slot, predef_rotation_);
       if (d == kInvalidTor) continue;
-      visit_predefined_conn(resolve_predef_conn(s, p, d), /*healthy=*/false,
-                            data_end);
+      visit_predefined_conn(resolve_predef_conn(s, p, d), /*healthy=*/false);
     }
   }
 }
@@ -360,13 +386,16 @@ void NegotiatorFabric::run_predefined_phase() {
     // FaultPlane::quiescent()).
     const bool healthy = links_.all_up() && faults_.quiescent();
     if (!healthy) {
-      run_predefined_slot_dense(slot, data_end);
-      continue;
+      run_predefined_slot_dense(slot);
+    } else {
+      for (const PredefConn& c :
+           predef_buckets_[static_cast<std::size_t>(slot)]) {
+        visit_predefined_conn(c, /*healthy=*/true);
+      }
     }
-    for (const PredefConn& c :
-         predef_buckets_[static_cast<std::size_t>(slot)]) {
-      visit_predefined_conn(c, /*healthy=*/true, data_end);
-    }
+    // Close the slot: every piggyback delivery staged above shares this
+    // arrival time, so the whole slot lands as one span.
+    flush_deliveries(data_end + config_.propagation_delay_ns);
   }
   in_predefined_phase_ = false;
 }
@@ -424,8 +453,7 @@ void NegotiatorFabric::run_scheduled_phase() {
         NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
         ++match_slots_used_;
         sync_source_activity(m.src);
-        deliver_direct(static_cast<int>(pkt->flow), m.dst, pkt->bytes,
-                       arrival);
+        stage_delivery(static_cast<int>(pkt->flow), m.dst, pkt->bytes);
         live_matches_[keep++] = index;
         continue;
       }
@@ -443,14 +471,17 @@ void NegotiatorFabric::run_scheduled_phase() {
         continue;
       }
       // 2. Second-hop relayed data parked at this ToR for the destination.
+      // The span dequeue keeps the relay queue live (same-slot reads see
+      // the drain) while the delivery effects ride the slot's span.
       {
         RelayQueueSet& parked = relay_[static_cast<std::size_t>(m.src)];
         if (parked.bytes_for(m.dst) > 0) {
-          auto chunk = parked.dequeue_packet(m.dst, payload);
-          NEG_ASSERT(chunk.has_value(), "pending relay yielded no chunk");
+          RelayChunk chunk;
+          const std::size_t got =
+              parked.dequeue_span(m.dst, payload, 1, &chunk);
+          NEG_ASSERT(got == 1, "pending relay yielded no chunk");
           sync_relay_activity(m.src);
-          deliver_direct(static_cast<int>(chunk->flow), m.dst, chunk->bytes,
-                         arrival);
+          stage_delivery(static_cast<int>(chunk.flow), m.dst, chunk.bytes);
           live_matches_[keep++] = index;
           continue;
         }
@@ -476,8 +507,10 @@ void NegotiatorFabric::run_scheduled_phase() {
       live_matches_[keep++] = index;
     }
     live_matches_.resize(keep);
-    // Close the slot: one event per (slot, intermediate); the goodput
-    // meter ingests each span at the shared arrival time.
+    // Close the slot: deliveries flush first (the goodput meter books
+    // delivered bytes before relay receptions, matching the per-packet
+    // order the span replaces), then one train event per intermediate.
+    flush_deliveries(arrival);
     for (const TorId inter : train_touched_) {
       auto& train = train_build_[static_cast<std::size_t>(inter)];
       goodput_.record_relay_train(inter, train.data(), train.size(), arrival);
@@ -504,23 +537,18 @@ Bytes NegotiatorFabric::pending_bytes(TorId src, TorId dst) const {
 }
 
 Bytes NegotiatorFabric::elephant_bytes(TorId src, TorId dst) const {
-  const DestQueue& q = tors_[static_cast<std::size_t>(src)].queue_to(dst);
-  return q.bytes_at_level(q.levels() - 1);
+  const TorSwitch& tor = tors_[static_cast<std::size_t>(src)];
+  return tor.bytes_at_level(dst, tor.levels() - 1);
 }
 
 Nanos NegotiatorFabric::weighted_hol_delay(TorId src, TorId dst, Nanos now,
                                            double alpha) const {
-  return tors_[static_cast<std::size_t>(src)].queue_to(dst).weighted_hol_delay(
-      now, alpha);
+  return tors_[static_cast<std::size_t>(src)].weighted_hol_delay(dst, now,
+                                                                 alpha);
 }
 
 Nanos NegotiatorFabric::oldest_hol_enqueue(TorId src, TorId dst) const {
-  const DestQueue& q = tors_[static_cast<std::size_t>(src)].queue_to(dst);
-  Nanos oldest = kNeverNs;
-  for (int level = 0; level < q.levels(); ++level) {
-    oldest = std::min(oldest, q.hol_enqueue_time(level));
-  }
-  return oldest;
+  return tors_[static_cast<std::size_t>(src)].oldest_hol_enqueue(dst);
 }
 
 Bytes NegotiatorFabric::cumulative_arrived(TorId src, TorId dst) const {

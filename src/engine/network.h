@@ -36,6 +36,12 @@ class FlowTable {
   /// Credits `bytes` arriving at the destination at `arrival`; records the
   /// FCT sample when the flow completes.
   void credit(int index, Bytes bytes, Nanos arrival, FctRecorder& fct);
+  /// Credits a slot's coalesced delivery span in record order — identical
+  /// per-record arithmetic to n credit() calls (a flow may appear several
+  /// times in one span), but flows completed by the span land in `fct` as
+  /// one bulk append instead of one round trip per packet.
+  void credit_span(const DeliveryRecord* records, std::size_t n,
+                   Nanos arrival, FctRecorder& fct);
   std::size_t size() const { return states_.size(); }
   bool done(int index) const;
 
@@ -46,6 +52,7 @@ class FlowTable {
     bool done{false};
   };
   std::vector<State> states_;
+  std::vector<FctSample> completed_scratch_;  // per-span staging
 };
 
 class FabricSim {
@@ -82,6 +89,16 @@ class FabricSim {
     return events_executed();
   }
 
+  /// Final-destination packet deliveries that rode a coalesced per-slot
+  /// delivery span so far (second-hop relay + direct data).
+  virtual std::uint64_t deliveries() const { return 0; }
+
+  /// Coalesced delivery walks flushed so far (at most one per slot);
+  /// deliveries() / delivery_dispatches() is the delivery-side batching
+  /// factor — the second-hop mirror of events/dispatches on the enqueue
+  /// side.
+  virtual std::uint64_t delivery_dispatches() const { return 0; }
+
   /// Per-epoch accepts/grants ratio (Fig. 14); empty for the oblivious
   /// fabric, which has no matching step.
   virtual std::vector<double> match_ratio_series() const { return {}; }
@@ -117,6 +134,10 @@ class NegotiatorFabric final : public FabricSim,
   }
   std::vector<double> match_ratio_series() const override {
     return ratio_series_;
+  }
+  std::uint64_t deliveries() const override { return deliveries_; }
+  std::uint64_t delivery_dispatches() const override {
+    return delivery_dispatches_;
   }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
@@ -161,7 +182,19 @@ class NegotiatorFabric final : public FabricSim,
   void run_epoch();
   void run_predefined_phase();
   void run_scheduled_phase();
-  void deliver_direct(int flow_index, TorId dst, Bytes bytes, Nanos arrival);
+
+  /// Parks one final-destination delivery on the current slot's span. The
+  /// dequeue already happened (queue state must stay live for same-slot
+  /// reads); the flow credit / FCT / goodput / host-plane effects ride the
+  /// span and land in flush_deliveries in staged order.
+  void stage_delivery(int flow_index, TorId dst, Bytes bytes) {
+    delivery_build_.push_back(
+        DeliveryRecord{static_cast<FlowId>(flow_index), dst, bytes});
+  }
+  /// Lands the staged span as one coalesced walk: credit_span (bulk FCT
+  /// completion), record_delivery_span (per-destination deltas), and the
+  /// host plane's per-record drain, all at the slot's shared `arrival`.
+  void flush_deliveries(Nanos arrival);
 
   /// Maintains active_sources_ / relay_active_ after a queue mutation at
   /// `tor` (dirty-set invariant: the fabric marks on fill, clears on
@@ -246,10 +279,10 @@ class NegotiatorFabric final : public FabricSim,
   void gather_predefined_pair(TorId src, TorId dst);
   /// Dense fallback for one slot: visits all N×P connections (unhealthy
   /// slots, where every link must be observed).
-  void run_predefined_slot_dense(int slot, Nanos data_end);
+  void run_predefined_slot_dense(int slot);
   /// Visits one resolved connection (shared by sparse and dense paths).
-  void visit_predefined_conn(const PredefConn& c, bool healthy,
-                             Nanos data_end);
+  /// Deliveries are staged; the slot's close flushes them as one span.
+  void visit_predefined_conn(const PredefConn& c, bool healthy);
 
   std::vector<std::vector<PredefConn>> predef_buckets_;  // one per slot
   std::vector<std::int64_t> predef_gather_stamp_;  // [src*N+dst] -> epoch
@@ -297,6 +330,13 @@ class NegotiatorFabric final : public FabricSim,
   /// relay_enabled_.
   std::vector<std::vector<RelayTrainChunk>> train_build_;  // [intermediate]
   std::vector<TorId> train_touched_;
+
+  /// Per-slot delivery span (both phases): records staged in dequeue order,
+  /// flushed once per slot. Counters feed deliveries_per_dispatch in
+  /// bench_perf_engine.
+  std::vector<DeliveryRecord> delivery_build_;
+  std::uint64_t deliveries_{0};
+  std::uint64_t delivery_dispatches_{0};
 };
 
 /// Builds the fabric matching `config.scheduler` (NegotiaToR family or the

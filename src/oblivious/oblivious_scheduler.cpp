@@ -163,11 +163,13 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
             cong ? 1 : -1;
       }
       // 1. Second hop: deliver relayed data whose final destination is m.
+      // The span dequeue mutates the relay queue inline (congestion
+      // adverts later this slot must see the drain); the delivery's
+      // downstream effects ride the slot's staged span.
       if (parked.bytes_for(m) > 0) {
-        if (auto chunk = parked.dequeue_packet(m, payload)) {
-          flow_table_.credit(static_cast<int>(chunk->flow), chunk->bytes,
-                             arrival, fct_);
-          goodput_.record_delivery(m, chunk->bytes, arrival);
+        RelayChunk chunk;
+        if (parked.dequeue_span(m, payload, 1, &chunk) == 1) {
+          delivery_build_.push_back(DeliveryRecord{chunk.flow, m, chunk.bytes});
           continue;
         }
       }
@@ -184,9 +186,7 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
       if (d == kInvalidTor) continue;
       if (d == m) {
         if (auto pkt = tor.dequeue_packet(m, payload)) {
-          flow_table_.credit(static_cast<int>(pkt->flow), pkt->bytes,
-                             arrival, fct_);
-          goodput_.record_delivery(m, pkt->bytes, arrival);
+          delivery_build_.push_back(DeliveryRecord{pkt->flow, m, pkt->bytes});
         }
         continue;
       }
@@ -202,9 +202,23 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
     }
     update_busy(s);
   }
-  // Close the slot: everything appended above leaves as one train event
-  // at the shared arrival time (a no-op when nothing spread this slot).
+  // Close the slot: staged deliveries land as one span (deliveries book
+  // before the train's relay receptions unpack — separate accumulators,
+  // shared timestamp, so sums are unchanged), then everything appended
+  // above leaves as one train event at the shared arrival time (a no-op
+  // when nothing spread this slot).
+  flush_deliveries(arrival);
   sim_.events().commit_train(arrival);
+}
+
+void ObliviousFabric::flush_deliveries(Nanos arrival) {
+  if (delivery_build_.empty()) return;
+  const std::size_t n = delivery_build_.size();
+  flow_table_.credit_span(delivery_build_.data(), n, arrival, fct_);
+  goodput_.record_delivery_span(delivery_build_.data(), n, arrival);
+  deliveries_ += n;
+  ++delivery_dispatches_;
+  delivery_build_.clear();
 }
 
 void ObliviousFabric::run_until(Nanos t) {

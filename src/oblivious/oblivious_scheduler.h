@@ -47,6 +47,10 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   std::uint64_t events_dispatched() const override {
     return sim_.events().dispatched();
   }
+  std::uint64_t deliveries() const override { return deliveries_; }
+  std::uint64_t delivery_dispatches() const override {
+    return delivery_dispatches_;
+  }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
 
@@ -61,6 +65,10 @@ class ObliviousFabric final : public FabricSim, private EventSink {
                       Nanos now) override;
 
   void run_slot(std::int64_t global_slot);
+  /// Drains the slot's staged second-hop/direct deliveries as one span:
+  /// a single FlowTable credit walk and one goodput span at the shared
+  /// arrival time, in the dequeue order the inline calls used.
+  void flush_deliveries(Nanos arrival);
   /// Next backlogged destination after the spread pointer, skipping
   /// `exclude`; kInvalidTor when none.
   TorId next_spread_dst(TorId src, TorId exclude);
@@ -130,6 +138,14 @@ class ObliviousFabric final : public FabricSim, private EventSink {
     std::uint32_t rx_link;  // LinkState raw index, ingress
   };
   std::vector<SlotConn> conn_table_;
+
+  /// Slot-local staging for final-destination deliveries (second-hop and
+  /// lucky d == m spreads); flushed once per slot by flush_deliveries.
+  /// The dequeues themselves stay inline — congestion adverts read the
+  /// relay totals live mid-slot — only the downstream effects batch.
+  std::vector<DeliveryRecord> delivery_build_;
+  std::uint64_t deliveries_{0};
+  std::uint64_t delivery_dispatches_{0};
 
   ActiveSet busy_;                   // dirty set of sources with work
   std::vector<TorId> busy_scratch_;  // per-slot snapshot of busy_

@@ -28,6 +28,13 @@ class FctRecorder {
  public:
   void record(const FctSample& sample);
 
+  /// Bulk completion path: appends `n` samples in order, exactly as `n`
+  /// record() calls would, with a single reservation. FlowTable::credit_span
+  /// lands a slot's completed flows here in one call.
+  void record_span(const FctSample* samples, std::size_t n) {
+    samples_.insert(samples_.end(), samples, samples + n);
+  }
+
   /// Only flows with arrival >= `measure_from` are included in summaries;
   /// earlier flows count as warm-up.
   void set_measure_from(Nanos t) { measure_from_ = t; }

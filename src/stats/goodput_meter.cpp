@@ -11,6 +11,7 @@ GoodputMeter::GoodputMeter(int num_tors, Nanos window_ns)
   if (window_ns_ > 0) {
     per_tor_windows_.resize(static_cast<std::size_t>(num_tors));
     per_tor_relay_windows_.resize(static_cast<std::size_t>(num_tors));
+    span_accum_.assign(static_cast<std::size_t>(num_tors), 0);
   }
 }
 

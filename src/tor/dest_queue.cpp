@@ -1,71 +1,37 @@
 #include "tor/dest_queue.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
 
 namespace negotiator {
 
-DestQueue::DestQueue(int levels)
-    : levels_(static_cast<std::size_t>(levels)),
-      level_bytes_(static_cast<std::size_t>(levels), 0) {
-  NEG_ASSERT(levels >= 1, "DestQueue needs >= 1 level");
+DestQueueSet::DestQueueSet(int num_queues, int levels)
+    : num_queues_(num_queues),
+      levels_(levels),
+      head_(static_cast<std::size_t>(num_queues) * levels, -1),
+      tail_(static_cast<std::size_t>(num_queues) * levels, -1),
+      level_bytes_(static_cast<std::size_t>(num_queues) * levels, 0),
+      hol_(static_cast<std::size_t>(num_queues) * levels, kNeverNs),
+      queue_bytes_(static_cast<std::size_t>(num_queues), 0),
+      level_mask_(static_cast<std::size_t>(num_queues), 0) {
+  NEG_ASSERT(num_queues >= 1, "DestQueueSet needs >= 1 queue");
+  NEG_ASSERT(levels >= 1 && levels <= 32,
+             "DestQueueSet needs 1..32 levels (bitmask width)");
 }
 
-void DestQueue::enqueue_flow(FlowId flow, Bytes size, Nanos now,
-                             const PiasConfig& pias) {
+void DestQueueSet::enqueue_flow(int q, FlowId flow, Bytes size, Nanos now,
+                                const PiasConfig& pias) {
   for (const PiasSegment& seg : pias_split(size, pias)) {
-    enqueue_bytes(flow, seg.bytes, now, pias.enabled ? seg.level : 0);
+    enqueue_bytes(q, flow, seg.bytes, now, pias.enabled ? seg.level : 0);
   }
 }
 
-void DestQueue::enqueue_bytes(FlowId flow, Bytes bytes, Nanos now, int level) {
-  NEG_ASSERT(bytes > 0, "cannot enqueue zero bytes");
-  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
-  auto& q = levels_[static_cast<std::size_t>(level)];
-  // Merge with the tail segment when it is the same flow: flows are pushed
-  // whole at arrival, so this only coalesces retransmitted remainders.
-  if (!q.empty() && q.back().flow == flow && q.back().enqueued_at == now) {
-    q.back().remaining += bytes;
-  } else {
-    q.push_back(Segment{flow, bytes, now});
-  }
-  level_bytes_[static_cast<std::size_t>(level)] += bytes;
-  total_bytes_ += bytes;
-}
-
-void DestQueue::requeue_front(const QueuedPacket& packet) {
-  NEG_ASSERT(packet.bytes > 0, "cannot requeue zero bytes");
-  NEG_ASSERT(packet.level >= 0 && packet.level < levels(),
-             "level out of range");
-  auto& q = levels_[static_cast<std::size_t>(packet.level)];
-  if (!q.empty() && q.front().flow == packet.flow) {
-    q.front().remaining += packet.bytes;
-  } else {
-    q.push_front(Segment{packet.flow, packet.bytes, packet.enqueued_at});
-  }
-  level_bytes_[static_cast<std::size_t>(packet.level)] += packet.bytes;
-  total_bytes_ += packet.bytes;
-}
-
-Bytes DestQueue::bytes_at_level(int level) const {
-  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
-  return level_bytes_[static_cast<std::size_t>(level)];
-}
-
-Nanos DestQueue::hol_enqueue_time(int level) const {
-  NEG_ASSERT(level >= 0 && level < levels(), "level out of range");
-  const auto& q = levels_[static_cast<std::size_t>(level)];
-  return q.empty() ? kNeverNs : q.front().enqueued_at;
-}
-
-Nanos DestQueue::weighted_hol_delay(Nanos now, double alpha) const {
+Nanos DestQueueSet::weighted_hol_delay(int q, Nanos now, double alpha) const {
   auto wait = [now](Nanos enq) -> double {
     return enq == kNeverNs ? 0.0 : static_cast<double>(now - enq);
   };
-  const double q0 = wait(hol_enqueue_time(0));
-  const double q1 = levels() > 1 ? wait(hol_enqueue_time(1)) : 0.0;
-  const double q2 = levels() > 2 ? wait(hol_enqueue_time(2)) : 0.0;
+  const double q0 = wait(hol_enqueue_time(q, 0));
+  const double q1 = levels_ > 1 ? wait(hol_enqueue_time(q, 1)) : 0.0;
+  const double q2 = levels_ > 2 ? wait(hol_enqueue_time(q, 2)) : 0.0;
   const double weighted = (1.0 - alpha) * (q0 + q1) / 2.0 + alpha * q2;
   return static_cast<Nanos>(weighted);
 }

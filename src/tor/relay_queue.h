@@ -152,18 +152,38 @@ class RelayQueueSet {
   /// Inline: called once per second-hop packet.
   std::optional<RelayChunk> dequeue_packet(TorId final_dst,
                                            Bytes max_payload) {
+    RelayChunk out;
+    if (dequeue_span(final_dst, max_payload, 1, &out) == 0) {
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  /// Draws up to `max_packets` packets (each at most `max_payload` bytes of
+  /// one flow) bound for `final_dst`, exactly as that many sequential
+  /// dequeue_packet calls would — same packets, same partial takes — with
+  /// one per-destination byte delta, one total update and one active-set
+  /// check for the whole span. Returns the number drawn. The drain-side
+  /// mirror of enqueue_span.
+  std::size_t dequeue_span(TorId final_dst, Bytes max_payload,
+                           std::size_t max_packets, RelayChunk* out) {
     NEG_ASSERT(max_payload > 0, "packet payload must be positive");
     auto& q = queues_[static_cast<std::size_t>(final_dst)];
-    if (q.empty()) return std::nullopt;
-    RelayChunk& head = q.front();
-    const Bytes take = std::min(head.bytes, max_payload);
-    RelayChunk out{head.flow, take, head.received_at};
-    head.bytes -= take;
-    queue_bytes_[static_cast<std::size_t>(final_dst)] -= take;
-    total_bytes_ -= take;
-    if (head.bytes == 0) q.pop_front();
+    Bytes taken = 0;
+    std::size_t n = 0;
+    while (n < max_packets && !q.empty()) {
+      RelayChunk& head = q.front();
+      const Bytes take = std::min(head.bytes, max_payload);
+      out[n++] = RelayChunk{head.flow, take, head.received_at};
+      head.bytes -= take;
+      taken += take;
+      if (head.bytes == 0) q.pop_front();
+    }
+    if (n == 0) return 0;
+    queue_bytes_[static_cast<std::size_t>(final_dst)] -= taken;
+    total_bytes_ -= taken;
     if (q.empty()) active_.erase(final_dst);
-    return out;
+    return n;
   }
 
   Bytes bytes_for(TorId final_dst) const {

@@ -5,42 +5,37 @@
 namespace negotiator {
 
 TorSwitch::TorSwitch(TorId id, int num_tors, const PiasConfig& pias)
-    : id_(id), pias_(pias), active_(num_tors) {
+    : id_(id),
+      pias_(pias),
+      store_(num_tors, pias_levels(pias)),
+      active_(num_tors) {
   NEG_ASSERT(num_tors >= 2, "need >= 2 ToRs");
   NEG_ASSERT(id >= 0 && id < num_tors, "ToR id out of range");
-  queues_.reserve(static_cast<std::size_t>(num_tors));
-  for (int i = 0; i < num_tors; ++i) {
-    queues_.emplace_back(pias_levels(pias));
-  }
-}
-
-const DestQueue& TorSwitch::queue_to(TorId dst) const {
-  NEG_ASSERT(dst >= 0 && dst < num_tors(), "bad destination");
-  return queues_[static_cast<std::size_t>(dst)];
 }
 
 void TorSwitch::accept_flow(const Flow& flow, Nanos now) {
   NEG_ASSERT(flow.src == id_, "flow does not originate here");
-  DestQueue& q = queue_mut(flow.dst);
-  const bool was_empty = q.empty();
-  q.enqueue_flow(flow.id, flow.size, now, pias_);
+  check_dst(flow.dst);
+  const bool was_empty = store_.empty(flow.dst);
+  store_.enqueue_flow(flow.dst, flow.id, flow.size, now, pias_);
   total_pending_ += flow.size;
   note_enqueued(flow.dst, was_empty);
 }
 
 void TorSwitch::enqueue_bytes(TorId dst, FlowId flow, Bytes bytes, Nanos now,
                               int level) {
-  DestQueue& q = queue_mut(dst);
-  const bool was_empty = q.empty();
-  q.enqueue_bytes(flow, bytes, now, level);
+  check_dst(dst);
+  const bool was_empty = store_.empty(dst);
+  store_.enqueue_bytes(dst, flow, bytes, now, level);
   total_pending_ += bytes;
   note_enqueued(dst, was_empty);
 }
 
 std::optional<QueuedPacket> TorSwitch::dequeue_elephant_packet(
     TorId dst, Bytes max_payload) {
-  DestQueue& q = queue_mut(dst);
-  auto packet = q.dequeue_packet_at_least(max_payload, q.levels() - 1);
+  check_dst(dst);
+  auto packet =
+      store_.dequeue_packet_at_least(dst, max_payload, store_.levels() - 1);
   if (packet) {
     total_pending_ -= packet->bytes;
     note_dequeued(dst);
@@ -49,9 +44,9 @@ std::optional<QueuedPacket> TorSwitch::dequeue_elephant_packet(
 }
 
 void TorSwitch::requeue_front(TorId dst, const QueuedPacket& packet) {
-  DestQueue& q = queue_mut(dst);
-  const bool was_empty = q.empty();
-  q.requeue_front(packet);
+  check_dst(dst);
+  const bool was_empty = store_.empty(dst);
+  store_.requeue_front(dst, packet);
   total_pending_ += packet.bytes;
   note_enqueued(dst, was_empty);
 }

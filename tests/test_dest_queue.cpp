@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace negotiator {
 namespace {
 
@@ -110,6 +116,242 @@ TEST(DestQueue, WeightedHolDelayEmptyLevelsCountZero) {
   q.enqueue_bytes(1, 100, 0, 2);
   const double a = 0.5;
   EXPECT_NEAR(static_cast<double>(q.weighted_hol_delay(200, a)), a * 200, 1.0);
+}
+
+// --- Arena-vs-deque property check ---------------------------------------
+//
+// The SoA DestQueueSet must be observationally equivalent to the plain
+// per-level std::deque<Segment> model it replaced. The reference below IS
+// that old model (tail merge on same flow + same stamp, head merge on
+// requeue keeping the head's stamp, partial takes from the head only);
+// randomized op sequences pin the two bit-for-bit.
+
+struct RefSeg {
+  FlowId flow;
+  Bytes remaining;
+  Nanos enqueued_at;
+};
+
+class RefDestQueue {
+ public:
+  explicit RefDestQueue(int levels) : q_(static_cast<std::size_t>(levels)) {}
+
+  void enqueue_bytes(FlowId flow, Bytes bytes, Nanos now, int level) {
+    auto& q = q_[static_cast<std::size_t>(level)];
+    if (!q.empty() && q.back().flow == flow && q.back().enqueued_at == now) {
+      q.back().remaining += bytes;
+    } else {
+      q.push_back(RefSeg{flow, bytes, now});
+    }
+  }
+
+  void enqueue_flow(FlowId flow, Bytes size, Nanos now,
+                    const PiasConfig& pias) {
+    for (const PiasSegment& seg : pias_split(size, pias)) {
+      enqueue_bytes(flow, seg.bytes, now, pias.enabled ? seg.level : 0);
+    }
+  }
+
+  void requeue_front(const QueuedPacket& p) {
+    auto& q = q_[static_cast<std::size_t>(p.level)];
+    if (!q.empty() && q.front().flow == p.flow) {
+      q.front().remaining += p.bytes;  // HoL stamp stays the head's own
+    } else {
+      q.push_front(RefSeg{p.flow, p.bytes, p.enqueued_at});
+    }
+  }
+
+  std::optional<QueuedPacket> dequeue_packet_at_least(Bytes max_payload,
+                                                      int min_level) {
+    for (int level = min_level; level < static_cast<int>(q_.size());
+         ++level) {
+      auto& q = q_[static_cast<std::size_t>(level)];
+      if (q.empty()) continue;
+      RefSeg& head = q.front();
+      const Bytes take = std::min(head.remaining, max_payload);
+      const QueuedPacket out{head.flow, take, level, head.enqueued_at};
+      head.remaining -= take;
+      if (head.remaining == 0) q.pop_front();
+      return out;
+    }
+    return std::nullopt;
+  }
+
+  Bytes bytes_at_level(int level) const {
+    Bytes total = 0;
+    for (const RefSeg& s : q_[static_cast<std::size_t>(level)]) {
+      total += s.remaining;
+    }
+    return total;
+  }
+  Bytes total_bytes() const {
+    Bytes total = 0;
+    for (int l = 0; l < static_cast<int>(q_.size()); ++l) {
+      total += bytes_at_level(l);
+    }
+    return total;
+  }
+  Nanos hol_enqueue_time(int level) const {
+    const auto& q = q_[static_cast<std::size_t>(level)];
+    return q.empty() ? kNeverNs : q.front().enqueued_at;
+  }
+
+ private:
+  std::vector<std::deque<RefSeg>> q_;
+};
+
+void expect_same_packet(const std::optional<QueuedPacket>& got,
+                        const std::optional<QueuedPacket>& want,
+                        std::size_t step) {
+  ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+  if (!got.has_value()) return;
+  EXPECT_EQ(got->flow, want->flow) << "step " << step;
+  EXPECT_EQ(got->bytes, want->bytes) << "step " << step;
+  EXPECT_EQ(got->level, want->level) << "step " << step;
+  EXPECT_EQ(got->enqueued_at, want->enqueued_at) << "step " << step;
+}
+
+void expect_same_state(const DestQueue& impl, const RefDestQueue& ref,
+                       int levels, std::size_t step) {
+  ASSERT_EQ(impl.total_bytes(), ref.total_bytes()) << "step " << step;
+  for (int l = 0; l < levels; ++l) {
+    ASSERT_EQ(impl.bytes_at_level(l), ref.bytes_at_level(l))
+        << "step " << step << " level " << l;
+    ASSERT_EQ(impl.hol_enqueue_time(l), ref.hol_enqueue_time(l))
+        << "step " << step << " level " << l;
+  }
+}
+
+TEST(DestQueueProperty, ArenaMatchesDequeReference) {
+  const int levels = 3;
+  const PiasConfig pias = pias3();
+  DestQueue impl(levels);
+  RefDestQueue ref(levels);
+  Rng rng(20260808);
+  Nanos now = 0;
+  std::vector<QueuedPacket> dequeued;  // candidates for requeue_front
+  for (std::size_t step = 0; step < 20'000; ++step) {
+    now += rng.next_below(50);
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1: {  // whole flow, PIAS-split across levels
+        const FlowId flow = static_cast<FlowId>(rng.next_below(64));
+        const Bytes size = 1 + rng.next_below(60'000);
+        impl.enqueue_flow(flow, size, now, pias);
+        ref.enqueue_flow(flow, size, now, pias);
+        break;
+      }
+      case 2: {  // raw bytes at an explicit level (relay / retransmit)
+        const FlowId flow = static_cast<FlowId>(rng.next_below(64));
+        const Bytes bytes = 1 + rng.next_below(5'000);
+        const int level = static_cast<int>(rng.next_below(levels));
+        impl.enqueue_bytes(flow, bytes, now, level);
+        ref.enqueue_bytes(flow, bytes, now, level);
+        break;
+      }
+      case 3: {  // lost transmission: put a past packet back at its head
+        if (dequeued.empty()) break;
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::int64_t>(dequeued.size())));
+        const QueuedPacket p = dequeued[pick];
+        dequeued.erase(dequeued.begin() + static_cast<std::ptrdiff_t>(pick));
+        impl.requeue_front(p);
+        ref.requeue_front(p);
+        break;
+      }
+      case 4: {  // selective-relay pull: only levels >= min_level
+        const Bytes payload = 1 + rng.next_below(2'000);
+        const int min_level = static_cast<int>(rng.next_below(levels));
+        const auto got = impl.dequeue_packet_at_least(payload, min_level);
+        const auto want = ref.dequeue_packet_at_least(payload, min_level);
+        expect_same_packet(got, want, step);
+        if (got) dequeued.push_back(*got);
+        break;
+      }
+      case 5: {  // bulk drain vs the same number of sequential ref dequeues
+        const Bytes payload = 1 + rng.next_below(2'000);
+        const std::size_t max_packets =
+            1 + static_cast<std::size_t>(rng.next_below(8));
+        std::vector<QueuedPacket> span(max_packets);
+        const std::size_t n =
+            impl.dequeue_span(payload, max_packets, span.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto want = ref.dequeue_packet_at_least(payload, 0);
+          expect_same_packet(span[i], want, step);
+          dequeued.push_back(span[i]);
+        }
+        ASSERT_FALSE(n < max_packets &&
+                     ref.dequeue_packet_at_least(payload, 0).has_value())
+            << "span stopped early at step " << step;
+        break;
+      }
+      default: {  // plain dequeue (most common op in the fabric)
+        const Bytes payload = 1 + rng.next_below(2'000);
+        const auto got = impl.dequeue_packet(payload);
+        const auto want = ref.dequeue_packet_at_least(payload, 0);
+        expect_same_packet(got, want, step);
+        if (got) dequeued.push_back(*got);
+        break;
+      }
+    }
+    if (dequeued.size() > 32) dequeued.erase(dequeued.begin());
+    expect_same_state(impl, ref, levels, step);
+  }
+}
+
+TEST(DestQueueSet, SpanMatchesSequentialDequeues) {
+  // Two identically-loaded sets: draining one via dequeue_span must yield
+  // exactly the packets sequential dequeue_packet calls yield on the other.
+  const int kQueues = 4;
+  DestQueueSet bulk(kQueues, 3);
+  DestQueueSet seq(kQueues, 3);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int q = static_cast<int>(rng.next_below(kQueues));
+    const FlowId flow = static_cast<FlowId>(rng.next_below(16));
+    const Bytes bytes = 1 + rng.next_below(4'000);
+    const int level = static_cast<int>(rng.next_below(3));
+    const Nanos now = i * 3;
+    bulk.enqueue_bytes(q, flow, bytes, now, level);
+    seq.enqueue_bytes(q, flow, bytes, now, level);
+  }
+  QueuedPacket span[8];
+  for (int round = 0; round < 500; ++round) {
+    const int q = static_cast<int>(rng.next_below(kQueues));
+    const Bytes payload = 1 + rng.next_below(1'500);
+    const std::size_t max_packets =
+        1 + static_cast<std::size_t>(rng.next_below(8));
+    const std::size_t n = bulk.dequeue_span(q, payload, max_packets, span);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto want = seq.dequeue_packet(q, payload);
+      ASSERT_TRUE(want.has_value());
+      EXPECT_EQ(span[i].flow, want->flow);
+      EXPECT_EQ(span[i].bytes, want->bytes);
+      EXPECT_EQ(span[i].level, want->level);
+      EXPECT_EQ(span[i].enqueued_at, want->enqueued_at);
+    }
+    if (n < max_packets) {
+      EXPECT_FALSE(seq.dequeue_packet(q, payload).has_value());
+    }
+    ASSERT_EQ(bulk.total_bytes(q), seq.total_bytes(q));
+  }
+}
+
+TEST(DestQueueSet, MinLevelMaskSkipsEmptyLevels) {
+  // The non-empty-level bitmask must land on the first eligible level even
+  // when the levels between min_level and it are empty, and must report
+  // nullopt without scanning when nothing at or below min_level exists.
+  DestQueueSet set(1, 8);
+  set.enqueue_bytes(0, 1, 100, 0, 1);
+  set.enqueue_bytes(0, 2, 100, 0, 6);
+  EXPECT_FALSE(set.dequeue_packet_at_least(0, 1'000, 7).has_value());
+  const auto low = set.dequeue_packet_at_least(0, 1'000, 2);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_EQ(low->level, 6) << "mask must jump over empty levels 2..5";
+  const auto high = set.dequeue_packet_at_least(0, 1'000, 0);
+  ASSERT_TRUE(high.has_value());
+  EXPECT_EQ(high->level, 1);
+  EXPECT_FALSE(set.dequeue_packet_at_least(0, 1'000, 0).has_value());
 }
 
 TEST(DestQueue, TotalConservedAcrossOperations) {

@@ -198,5 +198,45 @@ TEST(Engine, RejectsFlowsArrivingInThePast) {
   EXPECT_DEATH(fab->add_flow(one_flow(0, 1, 100, 50)), "past");
 }
 
+TEST(FlowTable, CreditSpanMatchesSequentialCredits) {
+  // A slot's coalesced delivery span must advance the table and land
+  // completion samples exactly as per-record credit() calls do — including
+  // a flow appearing several times in one span and completing mid-span.
+  FlowTable bulk;
+  FlowTable seq;
+  FctRecorder bulk_fct;
+  FctRecorder seq_fct;
+  std::vector<int> idx;
+  for (int i = 0; i < 4; ++i) {
+    const Flow f = one_flow(0, 1 + i % 3, 1'000 * (i + 1), 10 * i, i, i % 2);
+    const int bi = bulk.add(f);
+    ASSERT_EQ(bi, seq.add(f));
+    idx.push_back(bi);
+  }
+  // Flow 0 (1000 B) completes inside the first span; flow 3 never does.
+  const DeliveryRecord span1[] = {{0, 1, 600}, {1, 2, 500}, {0, 1, 400},
+                                  {3, 1, 900}};
+  const DeliveryRecord span2[] = {{2, 3, 3'000}, {1, 2, 1'500}};
+  bulk.credit_span(span1, 4, 1'000, bulk_fct);
+  bulk.credit_span(span2, 2, 2'000, bulk_fct);
+  bulk.credit_span(span1, 0, 3'000, bulk_fct);  // empty span is a no-op
+  for (const DeliveryRecord& r : span1) {
+    seq.credit(static_cast<int>(r.flow), r.bytes, 1'000, seq_fct);
+  }
+  for (const DeliveryRecord& r : span2) {
+    seq.credit(static_cast<int>(r.flow), r.bytes, 2'000, seq_fct);
+  }
+  for (const int i : idx) EXPECT_EQ(bulk.done(i), seq.done(i));
+  ASSERT_EQ(bulk_fct.completed(), seq_fct.completed());
+  ASSERT_EQ(bulk_fct.completed(), 3u);
+  for (std::size_t i = 0; i < bulk_fct.completed(); ++i) {
+    EXPECT_EQ(bulk_fct.samples()[i].flow, seq_fct.samples()[i].flow);
+    EXPECT_EQ(bulk_fct.samples()[i].size, seq_fct.samples()[i].size);
+    EXPECT_EQ(bulk_fct.samples()[i].arrival, seq_fct.samples()[i].arrival);
+    EXPECT_EQ(bulk_fct.samples()[i].fct, seq_fct.samples()[i].fct);
+    EXPECT_EQ(bulk_fct.samples()[i].group, seq_fct.samples()[i].group);
+  }
+}
+
 }  // namespace
 }  // namespace negotiator

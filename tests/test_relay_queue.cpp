@@ -224,5 +224,45 @@ TEST(RelayQueue, EnqueueSpanEmptyIsANoOp) {
   EXPECT_EQ(r.total_bytes(), 0);
 }
 
+TEST(RelayQueue, DequeueSpanMatchesSequentialDequeues) {
+  // The drain-side mirror of the enqueue_span equivalence: a span of up to
+  // k packets must be exactly what k sequential dequeue_packet calls yield
+  // — same flows, same partial takes, same reception stamps, same counter
+  // and active-set trajectory.
+  const int kTors = 6;
+  RelayQueueSet bulk(kTors);
+  RelayQueueSet seq(kTors);
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const TorId dst = static_cast<TorId>(rng.next_below(kTors));
+    const FlowId flow = static_cast<FlowId>(rng.next_below(20));
+    const Bytes bytes = 1 + rng.next_below(3'000);
+    bulk.enqueue(dst, flow, bytes, i);
+    seq.enqueue(dst, flow, bytes, i);
+  }
+  RelayChunk span[8];
+  for (int round = 0; round < 600; ++round) {
+    const TorId dst = static_cast<TorId>(rng.next_below(kTors));
+    const Bytes payload = 1 + rng.next_below(1'200);
+    const std::size_t max_packets =
+        1 + static_cast<std::size_t>(rng.next_below(8));
+    const std::size_t n = bulk.dequeue_span(dst, payload, max_packets, span);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto want = seq.dequeue_packet(dst, payload);
+      ASSERT_TRUE(want.has_value()) << "round " << round;
+      EXPECT_EQ(span[i].flow, want->flow);
+      EXPECT_EQ(span[i].bytes, want->bytes);
+      EXPECT_EQ(span[i].received_at, want->received_at);
+    }
+    if (n < max_packets) {
+      EXPECT_FALSE(seq.dequeue_packet(dst, payload).has_value());
+    }
+    ASSERT_EQ(bulk.bytes_for(dst), seq.bytes_for(dst));
+    ASSERT_EQ(bulk.total_bytes(), seq.total_bytes());
+    ASSERT_EQ(bulk.active_destinations().contains(dst),
+              seq.active_destinations().contains(dst));
+  }
+}
+
 }  // namespace
 }  // namespace negotiator

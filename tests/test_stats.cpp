@@ -174,5 +174,74 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
+TEST(FctRecorder, RecordSpanMatchesSequentialRecords) {
+  FctRecorder bulk;
+  FctRecorder seq;
+  std::vector<FctSample> samples;
+  for (int i = 0; i < 25; ++i) {
+    samples.push_back(FctSample{i, 1'000 * (i + 1), i * 10,
+                                500 + 13 * i, i % 3});
+  }
+  bulk.record_span(samples.data(), 10);
+  bulk.record_span(samples.data() + 10, samples.size() - 10);
+  bulk.record_span(samples.data(), 0);  // empty span is a no-op
+  for (const FctSample& s : samples) seq.record(s);
+  ASSERT_EQ(bulk.completed(), seq.completed());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(bulk.samples()[i].flow, seq.samples()[i].flow);
+    EXPECT_EQ(bulk.samples()[i].fct, seq.samples()[i].fct);
+    EXPECT_EQ(bulk.samples()[i].arrival, seq.samples()[i].arrival);
+  }
+  const FctSummary a = bulk.all_summary();
+  const FctSummary b = seq.all_summary();
+  EXPECT_DOUBLE_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_DOUBLE_EQ(a.mean_ns, b.mean_ns);
+}
+
+TEST(GoodputMeter, DeliverySpanMatchesSequentialDeliveries) {
+  // One slot's span: every record shares the arrival time; the span form
+  // must land identical totals and identical per-ToR window series, with
+  // arbitrary interleaving of destinations inside the span.
+  GoodputMeter bulk(4, /*window=*/100);
+  GoodputMeter seq(4, /*window=*/100);
+  bulk.set_measure_interval(50, 10'000);
+  seq.set_measure_interval(50, 10'000);
+  const DeliveryRecord slot_a[] = {
+      {1, 0, 300}, {2, 2, 150}, {3, 0, 75}, {4, 3, 220}, {5, 2, 10}};
+  const DeliveryRecord slot_b[] = {{6, 1, 40}, {7, 1, 60}};
+  bulk.record_delivery_span(slot_a, 5, 120);
+  bulk.record_delivery_span(slot_b, 2, 260);
+  bulk.record_delivery_span(slot_a, 0, 300);  // empty span is a no-op
+  for (const DeliveryRecord& r : slot_a) {
+    seq.record_delivery(r.dst, r.bytes, 120);
+  }
+  for (const DeliveryRecord& r : slot_b) {
+    seq.record_delivery(r.dst, r.bytes, 260);
+  }
+  EXPECT_EQ(bulk.delivered_bytes(), seq.delivered_bytes());
+  for (TorId dst = 0; dst < 4; ++dst) {
+    EXPECT_EQ(bulk.tor_window_series(dst), seq.tor_window_series(dst))
+        << "dst " << dst;
+  }
+}
+
+TEST(GoodputMeter, DeliverySpanRespectsMeasureInterval) {
+  GoodputMeter bulk(2);
+  GoodputMeter seq(2);
+  bulk.set_measure_interval(100, 200);
+  seq.set_measure_interval(100, 200);
+  const DeliveryRecord records[] = {{1, 0, 500}, {2, 1, 700}};
+  bulk.record_delivery_span(records, 2, 99);   // before the interval
+  bulk.record_delivery_span(records, 2, 150);  // inside
+  bulk.record_delivery_span(records, 2, 200);  // at the exclusive end
+  for (const Nanos when : {Nanos{99}, Nanos{150}, Nanos{200}}) {
+    for (const DeliveryRecord& r : records) {
+      seq.record_delivery(r.dst, r.bytes, when);
+    }
+  }
+  EXPECT_EQ(bulk.delivered_bytes(), seq.delivered_bytes());
+  EXPECT_EQ(bulk.delivered_bytes(), 1'200);
+}
+
 }  // namespace
 }  // namespace negotiator

@@ -54,7 +54,7 @@ TEST(TorSwitch, ElephantDequeueLeavesMice) {
   auto pkt = tor.dequeue_elephant_packet(2, 1'115);
   ASSERT_TRUE(pkt.has_value());
   EXPECT_EQ(pkt->level, 2);
-  EXPECT_EQ(tor.queue_to(2).bytes_at_level(0), 1'000);
+  EXPECT_EQ(tor.bytes_at_level(2, 0), 1'000);
 }
 
 TEST(TorSwitch, RequeueFrontRestores) {
@@ -106,6 +106,41 @@ TEST(ActiveSet, SortedViewAndMembership) {
   EXPECT_FALSE(set.contains(5));
   seen.assign(set.begin(), set.end());
   EXPECT_EQ(seen, (std::vector<TorId>{2, 7}));
+}
+
+TEST(TorSwitch, DequeueSpanMatchesSequentialDequeues) {
+  // Twin switches with the same flows: a bulk span on one must yield the
+  // exact packets sequential dequeue_packet calls yield on the other, and
+  // leave identical pending/active state behind.
+  TorSwitch bulk(0, 8, PiasConfig{});
+  TorSwitch seq(0, 8, PiasConfig{});
+  for (int i = 0; i < 40; ++i) {
+    const TorId dst = static_cast<TorId>(1 + i % 7);
+    const Flow f = make_flow(i, 0, dst, 1 + (i * 7'919) % 40'000, i);
+    bulk.accept_flow(f, i);
+    seq.accept_flow(f, i);
+  }
+  QueuedPacket span[4];
+  for (int round = 0; round < 400; ++round) {
+    const TorId dst = static_cast<TorId>(1 + round % 7);
+    const std::size_t n = bulk.dequeue_span(dst, 1'115, 4, span);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto want = seq.dequeue_packet(dst, 1'115);
+      ASSERT_TRUE(want.has_value()) << "round " << round;
+      EXPECT_EQ(span[i].flow, want->flow);
+      EXPECT_EQ(span[i].bytes, want->bytes);
+      EXPECT_EQ(span[i].level, want->level);
+      EXPECT_EQ(span[i].enqueued_at, want->enqueued_at);
+    }
+    if (n < 4) {
+      EXPECT_FALSE(seq.dequeue_packet(dst, 1'115).has_value());
+    }
+    ASSERT_EQ(bulk.pending_to(dst), seq.pending_to(dst));
+    ASSERT_EQ(bulk.total_pending(), seq.total_pending());
+    ASSERT_EQ(bulk.active_destinations().contains(dst),
+              seq.active_destinations().contains(dst));
+  }
+  EXPECT_EQ(bulk.total_pending(), 0);
 }
 
 TEST(ActiveSet, SuccessorQueriesScanTheBitmap) {
