@@ -16,6 +16,13 @@
 // results are fingerprinted at every thread count to prove the
 // determinism contract (identical output regardless of schedule).
 //
+// A storm section measures the fault path: each fig9 system runs the same
+// workload with a ToR-group failure storm installed mid-run (one burst,
+// staggered repairs) and reports events/sec under faults plus the
+// goodput-degradation ratio (storm-phase vs pre-storm windowed goodput).
+// Each row carries a result fingerprint so check_perf.py gates the fault
+// path's bit-identity exactly like the scaling rows.
+//
 // A third section records the *scaling* dimension: events/sec for every
 // fig9 system at N in {16, 64, 128, 256} — plus an oblivious-only tail at
 // N = 512 (the all-to-all VLB data plane is the densest per-slot walk, so
@@ -33,6 +40,7 @@
 //                      NEG_PERF_TORS reuse those runs)
 //   NEG_PERF_SCALING_OBLIVIOUS_TORS  extra N list run for the oblivious
 //                      system only (default "512")
+//   NEG_PERF_STORM_TORS  N list for the storm section (default "16,64")
 //   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
 //   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
 //                      (default "1,2,<hardware concurrency>"; on a 1-core
@@ -50,6 +58,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "engine/fault_scenario.h"
+#include "stats/resilience_recorder.h"
 #include "stats/table.h"
 
 using namespace negbench;
@@ -126,6 +136,10 @@ std::vector<int> scaling_tor_counts() {
 
 std::vector<int> scaling_oblivious_tor_counts() {
   return parse_int_list("NEG_PERF_SCALING_OBLIVIOUS_TORS", "512", 2);
+}
+
+std::vector<int> storm_tor_counts() {
+  return parse_int_list("NEG_PERF_STORM_TORS", "16,64", 2);
 }
 
 /// Why the multi-thread sweep rows were skipped; empty when they ran.
@@ -285,8 +299,90 @@ PerfRun measure_engine(const char* name, TopologyKind topo,
   return out;
 }
 
+/// One fig9 system under a mid-run ToR-group storm: events/sec on the
+/// fault path, goodput-degradation ratio, and a result fingerprint pinning
+/// the fault path's bit-identity.
+struct StormRun {
+  PerfRun run;
+  double degradation_ratio;  // storm-phase goodput / pre-storm goodput
+  std::int64_t exclusion_churn;
+  std::uint64_t blackholed_bytes;
+};
+
+double goodput_window_sum(const GoodputMeter& g, int num_tors, Nanos from,
+                          Nanos to) {
+  const Nanos w = g.window_ns();
+  double bytes = 0;
+  for (TorId t = 0; t < num_tors; ++t) {
+    const auto& series = g.tor_window_series(t);
+    for (std::size_t i = static_cast<std::size_t>(from / w);
+         i < static_cast<std::size_t>(to / w) && i < series.size(); ++i) {
+      bytes += static_cast<double>(series[i]);
+    }
+  }
+  return bytes;
+}
+
+StormRun measure_storm(const char* name, TopologyKind topo,
+                       SchedulerKind sched, int n, double load,
+                       Nanos duration) {
+  NetworkConfig cfg = paper_config(topo, sched);
+  cfg.num_tors = n;
+  Runner runner(cfg, /*stats_window=*/100 * kMicro);
+  ResilienceRecorder rec(cfg.num_tors, cfg.ports_per_tor);
+  runner.fabric().set_resilience(&rec);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
+                        cfg.host_rate(), load, Rng(9));
+  const auto flows = gen.generate(0, duration);
+  runner.add_flows(flows);
+  // One ToR-group burst in the middle third; every victim repairs (with
+  // stagger) before the final third, so the run ends converged.
+  const Nanos phase = duration / 3;
+  StormSpec storm;
+  storm.zone = StormSpec::Zone::kTorGroup;
+  storm.group_size = 4;
+  storm.bursts = 1;
+  storm.first_burst_at = phase;
+  storm.burst_window = 10 * kMicro;
+  storm.outage_ns = std::max<Nanos>(phase - 40 * kMicro, 50 * kMicro);
+  storm.repair_stagger = 10 * kMicro;
+  FaultScenario scenario;
+  scenario.storm(storm);
+  Rng storm_rng(static_cast<std::uint64_t>(n) * 1017 + 5);
+  scenario.install(runner.fabric(), storm_rng);
+  runner.fabric().goodput().set_measure_interval(0, duration);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = runner.run(duration, duration / 2);
+  const auto t1 = std::chrono::steady_clock::now();
+  StormRun out;
+  out.run.name = name;
+  out.run.num_tors = n;
+  out.run.topology = to_string(topo);
+  out.run.scheduler = to_string(sched);
+  out.run.load = load;
+  out.run.sim_ns = duration;
+  out.run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.run.events = runner.fabric().events_executed();
+  out.run.dispatches = runner.fabric().events_dispatched();
+  out.run.deliveries = runner.fabric().deliveries();
+  out.run.delivery_dispatches = runner.fabric().delivery_dispatches();
+  out.run.result_fingerprint = result_fingerprint(runner, r);
+  out.run.flows = flows.size();
+  out.run.completed = r.completed;
+  const auto& g = runner.fabric().goodput();
+  const double pre =
+      goodput_window_sum(g, cfg.num_tors, phase / 3, phase);
+  const double during =
+      goodput_window_sum(g, cfg.num_tors, phase + phase / 3, 2 * phase);
+  out.degradation_ratio = pre > 0 ? during / pre : 0.0;
+  out.exclusion_churn = rec.exclusion_churn();
+  out.blackholed_bytes = static_cast<std::uint64_t>(rec.blackholed_bytes());
+  return out;
+}
+
 void write_json(const char* path, const std::vector<PerfRun>& runs,
                 const std::vector<PerfRun>& scaling,
+                const std::vector<StormRun>& storms,
                 const std::vector<SweepPerf>& sweeps, int sweep_tors,
                 bool deterministic, const std::string& skipped_reason) {
   std::FILE* f = std::fopen(path, "w");
@@ -353,6 +449,29 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                  r.events_per_sec(),
                  static_cast<unsigned long long>(r.result_fingerprint),
                  i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Storm: events/sec and goodput degradation on the fault path, with the
+  // same per-row fingerprint gating as the scaling section.
+  std::fprintf(f, "  \"storm\": [\n");
+  for (std::size_t i = 0; i < storms.size(); ++i) {
+    const StormRun& s = storms[i];
+    const PerfRun& r = s.run;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"num_tors\": %d, "
+                 "\"sim_ns\": %lld, \"events\": %llu, "
+                 "\"wall_seconds\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"degradation_ratio\": %.4f, \"exclusion_churn\": %lld, "
+                 "\"blackholed_bytes\": %llu, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
+                 r.name.c_str(), r.num_tors,
+                 static_cast<long long>(r.sim_ns),
+                 static_cast<unsigned long long>(r.events), r.wall_seconds,
+                 r.events_per_sec(), s.degradation_ratio,
+                 static_cast<long long>(s.exclusion_churn),
+                 static_cast<unsigned long long>(s.blackholed_bytes),
+                 static_cast<unsigned long long>(r.result_fingerprint),
+                 i + 1 < storms.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
@@ -476,6 +595,26 @@ int main() {
   }
   scaling_table.print();
 
+  // --- Storm dimension: the fault path under a mid-run zonal burst. ---
+  print_header("Storm: events/sec and goodput degradation under faults");
+  std::vector<StormRun> storms;
+  ConsoleTable storm_table({"system", "N", "events", "wall s", "events/s",
+                            "BWstorm/BWpre", "excl churn", "blackholed"});
+  for (const int n : storm_tor_counts()) {
+    for (const auto& sys : systems) {
+      const StormRun s =
+          measure_storm(sys.name, sys.topo, sys.sched, n, load, duration);
+      storm_table.add_row(
+          {s.run.name, std::to_string(s.run.num_tors),
+           std::to_string(s.run.events), fmt(s.run.wall_seconds, 3),
+           fmt(s.run.events_per_sec(), 0), fmt(s.degradation_ratio, 3),
+           std::to_string(s.exclusion_churn),
+           std::to_string(s.blackholed_bytes)});
+      storms.push_back(s);
+    }
+  }
+  storm_table.print();
+
   // --- Sweep dimension: the fig9 grid across worker-thread counts. ---
   const int sweep_tors = [] {
     const char* env = std::getenv("NEG_PERF_SWEEP_TORS");
@@ -521,8 +660,8 @@ int main() {
               deterministic ? "PASS" : "FAIL");
 
   if (const char* path = std::getenv("NEG_PERF_JSON")) {
-    write_json(path, runs, scaling, sweeps, sweep_tors, deterministic,
-               skipped);
+    write_json(path, runs, scaling, storms, sweeps, sweep_tors,
+               deterministic, skipped);
   }
   return deterministic ? 0 : 1;
 }

@@ -14,7 +14,11 @@ Gating:
     when both describe the same run (same system, num_tors AND sim_ns —
     fingerprints hash the simulated output, so they only compare across
     equal durations). A mismatch means simulated behaviour changed at an N
-    the golden tests don't cover.
+    the golden tests don't cover;
+  - the fresh storm section (the fault path under a mid-run zonal burst)
+    must exist, be non-empty, and its row fingerprints must match the
+    committed baseline under the same matching rule — the storm rows are
+    the fault path's bit-identity witness.
   Exit code 1 on any of these.
 
 Non-gating (::warning:: only — runner hardware varies, a human decides):
@@ -107,6 +111,49 @@ def check_scaling(fresh, baseline):
     return failed
 
 
+def check_storm(fresh, baseline):
+    """Validates the storm section; returns True when gating failed."""
+    rows = fresh.get("storm", [])
+    if not rows:
+        print("::error::fresh perf JSON has no storm section — "
+              "bench_perf_engine did not record the fault path")
+        return True
+    failed = False
+    base_rows = {(r["name"], r["num_tors"]): r
+                 for r in baseline.get("storm", [])}
+    compared = 0
+    for r in rows:
+        key = (r["name"], r["num_tors"])
+        if "fingerprint" not in r:
+            print(f"::error::storm row {key} carries no result fingerprint "
+                  "— the fault path's bit-identity witness is missing")
+            failed = True
+            continue
+        b = base_rows.get(key)
+        if b is None:
+            continue
+        if b.get("fingerprint") and b.get("sim_ns") == r.get("sim_ns"):
+            compared += 1
+            if b["fingerprint"] != r["fingerprint"]:
+                print(f"::error::storm fingerprint mismatch for {key} at "
+                      f"sim_ns={r['sim_ns']}: {r['fingerprint']} vs "
+                      f"committed {b['fingerprint']} — the simulated fault "
+                      "path changed behaviour")
+                failed = True
+        if b.get("events_per_sec") and b.get("sim_ns") == r.get("sim_ns"):
+            ratio = r["events_per_sec"] / b["events_per_sec"]
+            if ratio < 1.0 - REGRESSION_THRESHOLD:
+                print(f"::warning::storm events/sec for {key} regressed "
+                      f"{(1.0 - ratio) * 100:.0f}% vs the committed "
+                      "baseline (non-gating: runner hardware varies)")
+    skipped = len(rows) - compared
+    note = (f" ({skipped} rows without a comparable baseline — different "
+            "sim_ns or not in the committed file)" if skipped else "")
+    print(f"storm: {len(rows)} rows, {compared} fingerprints compared "
+          f"against the baseline{note}")
+    return failed
+
+
 def scaling_shapes(rows):
     """Per (system, sim_ns): events/sec at N=256 over events/sec at N=16."""
     by_key = {(r["name"], r["num_tors"], r.get("sim_ns")): r for r in rows}
@@ -178,6 +225,8 @@ def main():
         print(f"determinism: PASS{note}")
 
     if check_scaling(fresh, baseline):
+        failed = True
+    if check_storm(fresh, baseline):
         failed = True
     check_scaling_shape(fresh, baseline)
 

@@ -49,27 +49,35 @@ void FaultPlane::observe_egress(TorId src, PortId tx, bool delivered) {
   observe(egress_, src, tx, delivered);
 }
 
-void FaultPlane::end_epoch() {
+void FaultPlane::end_epoch(Listener* listener, Nanos now) {
   if (quiescent()) return;  // nothing pending anywhere
-  auto sweep = [this](std::vector<Dir>& v) {
-    for (Dir& dir : v) {
-      mutate_dir(dir, [this](Dir& d) {
+  auto sweep = [&](std::vector<Dir>& v, LinkDirection dir_kind) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      mutate_dir(v[i], [&](Dir& d) {
         if (d.pending_exclude) {
           d.excluded = true;
           d.pending_exclude = false;
           ++excluded_count_;
+          if (listener) {
+            listener->on_exclude(now, static_cast<TorId>(i / ports_),
+                                 static_cast<PortId>(i % ports_), dir_kind);
+          }
         }
         if (d.pending_include) {
           NEG_ASSERT(d.excluded, "include without exclude");
           d.excluded = false;
           d.pending_include = false;
           --excluded_count_;
+          if (listener) {
+            listener->on_include(now, static_cast<TorId>(i / ports_),
+                                 static_cast<PortId>(i % ports_), dir_kind);
+          }
         }
       });
     }
   };
-  sweep(ingress_);
-  sweep(egress_);
+  sweep(ingress_, LinkDirection::kIngress);
+  sweep(egress_, LinkDirection::kEgress);
 }
 
 bool FaultPlane::tx_excluded(TorId tor, PortId port) const {

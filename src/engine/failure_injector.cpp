@@ -1,8 +1,7 @@
 #include "engine/failure_injector.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
+#include "engine/fault_scenario.h"
 
 namespace negotiator {
 
@@ -10,34 +9,19 @@ std::vector<FailedLink> inject_random_failures(FabricSim& fabric,
                                                double fraction, Nanos fail_at,
                                                Nanos repair_at, Rng& rng) {
   NEG_ASSERT(fraction >= 0.0 && fraction <= 1.0, "fraction out of range");
-  const int n = fabric.config().num_tors;
-  const int ports = fabric.config().ports_per_tor;
-  std::vector<FailedLink> all;
-  all.reserve(static_cast<std::size_t>(2 * n * ports));
-  for (TorId t = 0; t < n; ++t) {
-    for (PortId p = 0; p < ports; ++p) {
-      all.push_back(FailedLink{t, p, LinkDirection::kEgress});
-      all.push_back(FailedLink{t, p, LinkDirection::kIngress});
-    }
+  // Thin shim over the scenario engine: a one-spec uniform burst expands
+  // with the exact victim-selection draw sequence and fail-then-repair
+  // schedule order of the original injector, so callers (and the golden
+  // fingerprints pinning them) stay byte-identical.
+  FaultScenario scenario;
+  scenario.uniform_burst(UniformBurstSpec{fraction, fail_at, repair_at});
+  const ScenarioTimeline timeline = scenario.install(fabric, rng);
+  std::vector<FailedLink> victims;
+  victims.reserve(timeline.failure_count());
+  for (const ScenarioEvent& e : timeline.link_events) {
+    if (e.fail) victims.push_back(FailedLink{e.tor, e.port, e.dir});
   }
-  const auto target = static_cast<std::size_t>(
-      fraction * static_cast<double>(all.size()) + 0.5);
-  // Partial Fisher-Yates: the first `target` entries are the victims.
-  for (std::size_t i = 0; i < target && i < all.size(); ++i) {
-    const auto j = static_cast<std::size_t>(
-        i + rng.next_below(static_cast<std::int64_t>(all.size() - i)));
-    std::swap(all[i], all[j]);
-  }
-  all.resize(std::min(target, all.size()));
-  for (const FailedLink& link : all) {
-    fabric.schedule_link_event(fail_at, link.tor, link.port, link.dir,
-                               /*fail=*/true);
-    if (repair_at != kNeverNs) {
-      fabric.schedule_link_event(repair_at, link.tor, link.port, link.dir,
-                                 /*fail=*/false);
-    }
-  }
-  return all;
+  return victims;
 }
 
 }  // namespace negotiator

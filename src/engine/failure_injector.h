@@ -1,5 +1,7 @@
 // Random link-failure injection for the fault-tolerance experiments
-// (Fig. 10, Fig. 19).
+// (Fig. 10, Fig. 19). Since the fault-scenario engine landed this is a
+// thin shim over FaultScenario::uniform_burst (engine/fault_scenario.h) —
+// same signature, same draw sequence, byte-identical output.
 #pragma once
 
 #include <vector>

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "oblivious/oblivious_scheduler.h"
+#include "stats/resilience_recorder.h"
 #include "topo/topology_factory.h"
 
 namespace negotiator {
@@ -157,11 +158,14 @@ void NegotiatorFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
   }
 }
 
-void NegotiatorFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
+void NegotiatorFabric::on_link_toggle(const LinkToggleEvent& e, Nanos now) {
   if (e.fail) {
     links_.fail(e.tor, e.port, e.dir);
   } else {
     links_.repair(e.tor, e.port, e.dir);
+  }
+  if (resilience_) {
+    resilience_->on_link_toggle(now, e.tor, e.port, e.dir, e.fail);
   }
 }
 
@@ -211,6 +215,11 @@ void NegotiatorFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
 void NegotiatorFabric::flush_deliveries(Nanos arrival) {
   if (delivery_build_.empty()) return;
   const std::size_t n = delivery_build_.size();
+  if (resilience_ && links_.failed_count() > 0) {
+    Bytes degraded = 0;
+    for (const DeliveryRecord& r : delivery_build_) degraded += r.bytes;
+    resilience_->on_degraded_delivery(degraded);
+  }
   flow_table_.credit_span(delivery_build_.data(), n, arrival, fct_);
   goodput_.record_delivery_span(delivery_build_.data(), n, arrival);
   if (host_plane_) {
@@ -253,7 +262,7 @@ void NegotiatorFabric::run_epoch() {
 
   run_predefined_phase();
   run_scheduled_phase();
-  faults_.end_epoch();
+  faults_.end_epoch(resilience_, sim_.now());
   ++epoch_;
 }
 
@@ -328,7 +337,10 @@ void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
     // and retransmitted by the upper layer — model as a wasted slot
     // with the bytes back at the queue head.
     auto pkt = tor.dequeue_packet(c.dst, config_.piggyback_payload_bytes());
-    if (pkt) tor.requeue_front(c.dst, *pkt);
+    if (pkt) {
+      tor.requeue_front(c.dst, *pkt);
+      if (resilience_) resilience_->on_blackholed(pkt->bytes);
+    }
   }
 }
 

@@ -27,6 +27,8 @@
 
 namespace negotiator {
 
+class ResilienceRecorder;  // stats/resilience_recorder.h
+
 /// Tracks per-flow delivery progress and closes FCT samples.
 class FlowTable {
  public:
@@ -107,6 +109,23 @@ class FabricSim {
   /// `when`.
   virtual void schedule_link_event(Nanos when, TorId tor, PortId port,
                                    LinkDirection dir, bool fail) = 0;
+
+  /// Ports currently excluded by the fault-detection plane (counted per
+  /// direction; 0 for fabrics without detection, e.g. the oblivious
+  /// baseline, and for an idle fault plane).
+  virtual int excluded_ports() const { return 0; }
+
+  /// Attaches an optional resilience-metrics sink (see
+  /// stats/resilience_recorder.h). The recorder must outlive the fabric
+  /// or be detached with set_resilience(nullptr). Null — the default —
+  /// keeps every hot path byte-identical to a recorder-free build.
+  void set_resilience(ResilienceRecorder* recorder) {
+    resilience_ = recorder;
+  }
+  ResilienceRecorder* resilience() const { return resilience_; }
+
+ protected:
+  ResilienceRecorder* resilience_{nullptr};
 };
 
 /// NegotiaToR fabric: predefined + scheduled phases per epoch.
@@ -141,6 +160,7 @@ class NegotiatorFabric final : public FabricSim,
   }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
+  int excluded_ports() const override { return faults_.excluded_count(); }
 
   // DemandView:
   Bytes pending_bytes(TorId src, TorId dst) const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "stats/resilience_recorder.h"
 #include "topo/topology_factory.h"
 
 namespace negotiator {
@@ -66,11 +67,14 @@ void ObliviousFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
   busy_.insert(f.src);
 }
 
-void ObliviousFabric::on_link_toggle(const LinkToggleEvent& e, Nanos) {
+void ObliviousFabric::on_link_toggle(const LinkToggleEvent& e, Nanos now) {
   if (e.fail) {
     links_.fail(e.tor, e.port, e.dir);
   } else {
     links_.repair(e.tor, e.port, e.dir);
+  }
+  if (resilience_) {
+    resilience_->on_link_toggle(now, e.tor, e.port, e.dir, e.fail);
   }
 }
 
@@ -214,6 +218,11 @@ void ObliviousFabric::run_slot(std::int64_t global_slot) {
 void ObliviousFabric::flush_deliveries(Nanos arrival) {
   if (delivery_build_.empty()) return;
   const std::size_t n = delivery_build_.size();
+  if (resilience_ && links_.failed_count() > 0) {
+    Bytes degraded = 0;
+    for (const DeliveryRecord& r : delivery_build_) degraded += r.bytes;
+    resilience_->on_degraded_delivery(degraded);
+  }
   flow_table_.credit_span(delivery_build_.data(), n, arrival, fct_);
   goodput_.record_delivery_span(delivery_build_.data(), n, arrival);
   deliveries_ += n;

@@ -1,0 +1,83 @@
+#include "stats/resilience_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+ResilienceRecorder::ResilienceRecorder(int num_tors, int ports_per_tor)
+    : num_tors_(num_tors),
+      ports_(ports_per_tor),
+      links_(static_cast<std::size_t>(2 * num_tors * ports_per_tor)) {
+  NEG_ASSERT(num_tors >= 1 && ports_per_tor >= 1, "bad recorder shape");
+}
+
+std::size_t ResilienceRecorder::index(TorId tor, PortId port,
+                                      LinkDirection dir) const {
+  NEG_ASSERT(tor >= 0 && tor < num_tors_ && port >= 0 && port < ports_,
+             "link address out of range");
+  const std::size_t base =
+      (static_cast<std::size_t>(tor) * ports_ + port) * 2;
+  return base + (dir == LinkDirection::kIngress ? 1 : 0);
+}
+
+void ResilienceRecorder::on_link_toggle(Nanos now, TorId tor, PortId port,
+                                        LinkDirection dir, bool fail) {
+  DirState& s = links_[index(tor, port, dir)];
+  if (fail) {
+    s.last_fail = now;
+    ++failures_;
+  } else {
+    s.last_repair = now;
+    ++repairs_;
+  }
+}
+
+void ResilienceRecorder::on_exclude(Nanos now, TorId tor, PortId port,
+                                    LinkDirection dir) {
+  ++exclusions_;
+  const DirState& s = links_[index(tor, port, dir)];
+  // A spurious exclusion (no recorded failure) yields no latency sample.
+  if (s.last_fail == kNeverNs || now < s.last_fail) return;
+  const Nanos latency = now - s.last_fail;
+  ++detection_.count;
+  detection_.sum += latency;
+  detection_.max = std::max(detection_.max, latency);
+}
+
+void ResilienceRecorder::on_include(Nanos now, TorId tor, PortId port,
+                                    LinkDirection dir) {
+  ++inclusions_;
+  const DirState& s = links_[index(tor, port, dir)];
+  if (s.last_repair == kNeverNs || now < s.last_repair) return;
+  const Nanos latency = now - s.last_repair;
+  ++recovery_.count;
+  recovery_.sum += latency;
+  recovery_.max = std::max(recovery_.max, latency);
+}
+
+std::string ResilienceRecorder::json() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"failures\": %lld, \"repairs\": %lld, \"exclusions\": %lld, "
+      "\"inclusions\": %lld, \"exclusion_churn\": %lld, "
+      "\"detection_ns\": {\"count\": %lld, \"mean\": %.1f, \"max\": %lld}, "
+      "\"recovery_ns\": {\"count\": %lld, \"mean\": %.1f, \"max\": %lld}, "
+      "\"blackholed_bytes\": %lld, \"degraded_delivered_bytes\": %lld}",
+      static_cast<long long>(failures_), static_cast<long long>(repairs_),
+      static_cast<long long>(exclusions_),
+      static_cast<long long>(inclusions_),
+      static_cast<long long>(exclusion_churn()),
+      static_cast<long long>(detection_.count), detection_.mean(),
+      static_cast<long long>(detection_.max),
+      static_cast<long long>(recovery_.count), recovery_.mean(),
+      static_cast<long long>(recovery_.max),
+      static_cast<long long>(blackholed_bytes_),
+      static_cast<long long>(degraded_delivered_bytes_));
+  return std::string(buf);
+}
+
+}  // namespace negotiator

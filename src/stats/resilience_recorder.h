@@ -1,0 +1,108 @@
+// Resilience-metrics plane: quantifies how the fabric rides out a fault
+// scenario (engine/fault_scenario.h).
+//
+// A recorder is attached to a fabric with FabricSim::set_resilience and
+// then fed from three places:
+//   - the fabric's link-toggle handler (injection / repair timestamps per
+//     directed link),
+//   - FaultPlane::end_epoch via the Listener interface (confirmed
+//     exclusion / re-inclusion transitions), and
+//   - the data plane (bytes transmitted into dark fibre before detection,
+//     bytes delivered while some link was down).
+//
+// Derived metrics:
+//   - detection latency  = exclusion confirmed − most recent failure of
+//     that directed link (how long the FaultPlane took to stop using it);
+//   - recovery latency   = re-inclusion confirmed − most recent repair
+//     (how long a healed link waits before carrying traffic again);
+//   - exclusion churn    = total exclusions + re-inclusions (a flapping
+//     plane excludes and re-includes the same port repeatedly);
+//   - blackholed bytes   = transmitted into a dark, not-yet-excluded link
+//     and bounced back to the queue head (wasted slots, §3.6.1);
+//   - degraded delivered bytes = delivered while failed_count() > 0 (the
+//     traffic the fabric routed around the outage).
+//
+// Determinism: the recorder only aggregates integer event data already on
+// the simulation timeline, so its numbers are bit-identical for a fixed
+// seed. A null recorder (the default) leaves every fabric hot path
+// untouched — goldens and bench stdouts are byte-identical with no
+// recorder attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/fault_detector.h"
+
+namespace negotiator {
+
+class ResilienceRecorder final : public FaultPlane::Listener {
+ public:
+  ResilienceRecorder(int num_tors, int ports_per_tor);
+
+  /// Fabric link-toggle hook (call after LinkState is updated).
+  void on_link_toggle(Nanos now, TorId tor, PortId port, LinkDirection dir,
+                      bool fail);
+
+  // FaultPlane::Listener:
+  void on_exclude(Nanos now, TorId tor, PortId port,
+                  LinkDirection dir) override;
+  void on_include(Nanos now, TorId tor, PortId port,
+                  LinkDirection dir) override;
+
+  /// Bytes transmitted into a dark, not-yet-excluded link (wasted slot).
+  void on_blackholed(Bytes bytes) { blackholed_bytes_ += bytes; }
+
+  /// Bytes delivered while at least one link in the fabric was down.
+  void on_degraded_delivery(Bytes bytes) {
+    degraded_delivered_bytes_ += bytes;
+  }
+
+  struct LatencyStats {
+    std::int64_t count{0};
+    Nanos sum{0};
+    Nanos max{0};
+    double mean() const {
+      return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                       : 0.0;
+    }
+  };
+
+  std::int64_t failures() const { return failures_; }
+  std::int64_t repairs() const { return repairs_; }
+  std::int64_t exclusions() const { return exclusions_; }
+  std::int64_t inclusions() const { return inclusions_; }
+  /// Exclusions + re-inclusions: how much the exclusion set thrashed.
+  std::int64_t exclusion_churn() const { return exclusions_ + inclusions_; }
+  const LatencyStats& detection() const { return detection_; }
+  const LatencyStats& recovery() const { return recovery_; }
+  Bytes blackholed_bytes() const { return blackholed_bytes_; }
+  Bytes degraded_delivered_bytes() const { return degraded_delivered_bytes_; }
+
+  /// One-line JSON object with the full metrics schema (see README
+  /// "Fault model" for field meanings); stable field order.
+  std::string json() const;
+
+ private:
+  struct DirState {
+    Nanos last_fail{kNeverNs};
+    Nanos last_repair{kNeverNs};
+  };
+  std::size_t index(TorId tor, PortId port, LinkDirection dir) const;
+
+  int num_tors_;
+  int ports_;
+  std::vector<DirState> links_;  // [((tor·P)+port)·2 + ingress?1:0]
+  std::int64_t failures_{0};
+  std::int64_t repairs_{0};
+  std::int64_t exclusions_{0};
+  std::int64_t inclusions_{0};
+  LatencyStats detection_;
+  LatencyStats recovery_;
+  Bytes blackholed_bytes_{0};
+  Bytes degraded_delivered_bytes_{0};
+};
+
+}  // namespace negotiator

@@ -1,0 +1,285 @@
+// Randomized chaos property harness for the fault-scenario engine
+// (engine/fault_scenario.h): hundreds of short seeded scenarios across
+// both fabric families, both topologies, and every scheduler variant,
+// each asserting three invariants —
+//   1. byte conservation: every byte injected after the churn rewrite is
+//      either delivered or still queued, and once drained, completed
+//      flows account for the whole workload;
+//   2. eventual drain: after the scenario's final repair the fabric
+//      empties within a bounded number of extra epochs;
+//   3. FaultPlane convergence: once healed, no port stays excluded and no
+//      link stays failed.
+// A deterministic subset is run twice to pin fixed-seed reproducibility
+// under chaos timelines.
+//
+// NEG_CHAOS_SCENARIOS overrides the scenario count (default 108; the
+// nightly chaos job sweeps several hundred). NEG_CHAOS_JSON, when set,
+// writes an aggregate resilience-metrics JSON artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/fault_scenario.h"
+#include "engine/runner.h"
+#include "stats/resilience_recorder.h"
+#include "workload/generator.h"
+#include "workload/size_distribution.h"
+
+namespace negotiator {
+namespace {
+
+constexpr SchedulerKind kAllSchedulers[] = {
+    SchedulerKind::kNegotiator,
+    SchedulerKind::kOblivious,
+    SchedulerKind::kNegotiatorIterative,
+    SchedulerKind::kNegotiatorInformativeSize,
+    SchedulerKind::kNegotiatorInformativeHol,
+    SchedulerKind::kNegotiatorStateful,
+    SchedulerKind::kNegotiatorSelectiveRelay,
+    SchedulerKind::kProjector,
+    SchedulerKind::kCentralized,
+};
+constexpr std::size_t kSchedulerCount = std::size(kAllSchedulers);
+
+int scenario_count() {
+  if (const char* env = std::getenv("NEG_CHAOS_SCENARIOS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 108;  // 12 per scheduler kind by default
+}
+
+/// Deterministically derives one scenario's whole universe — config,
+/// workload, fault timeline — from its index.
+struct ChaosCase {
+  NetworkConfig cfg;
+  FaultScenario scenario;
+  std::uint64_t workload_seed;
+  std::uint64_t install_seed;
+  Nanos duration;
+};
+
+ChaosCase build_case(int index) {
+  ChaosCase cc;
+  Rng rng(0xc4a05'0000ull + static_cast<std::uint64_t>(index));
+  NetworkConfig& cfg = cc.cfg;
+  cfg.scheduler = kAllSchedulers[static_cast<std::size_t>(index) %
+                                 kSchedulerCount];
+  // Selective relay is thin-clos-only (config validation); everyone else
+  // alternates topologies.
+  cfg.topology = (cfg.scheduler == SchedulerKind::kNegotiatorSelectiveRelay ||
+                  rng.next_below(2) == 0)
+                     ? TopologyKind::kThinClos
+                     : TopologyKind::kParallel;
+  // Shapes both topologies accept (thin-clos needs N % P == 0).
+  if (rng.next_below(3) == 0) {
+    cfg.num_tors = 16;
+    cfg.ports_per_tor = 8;
+  } else {
+    cfg.num_tors = 12;
+    cfg.ports_per_tor = 4;
+  }
+  cfg.seed = 0x5eed + static_cast<std::uint64_t>(index);
+  if (cfg.scheduler == SchedulerKind::kNegotiatorIterative) {
+    cfg.variant.iterations = 2;
+  }
+  cc.duration = 150'000 + 50'000 * rng.next_below(3);  // 150-250 us
+  cc.workload_seed = rng.next_u64();
+  cc.install_seed = rng.next_u64();
+
+  // Compose 1-3 fault processes; every composition repairs everything.
+  bool any = false;
+  if (rng.next_below(2) == 0) {
+    StormSpec s;
+    s.zone = rng.next_below(2) == 0 ? StormSpec::Zone::kTorGroup
+                                    : StormSpec::Zone::kPortPlane;
+    s.group_size = 4;
+    s.bursts = 1 + static_cast<int>(rng.next_below(3));
+    s.first_burst_at = 20'000 + 10'000 * rng.next_below(4);
+    s.burst_interval = 60'000;
+    s.burst_window = 10'000;
+    s.outage_ns = 20'000 + 10'000 * rng.next_below(4);
+    s.repair_stagger = 10'000;
+    cc.scenario.storm(s);
+    any = true;
+  }
+  if (rng.next_below(2) == 0) {
+    FlapSpec f;
+    f.link_fraction = 0.03 + 0.03 * static_cast<double>(rng.next_below(4));
+    f.mtbf_ns = 30'000 + 10'000 * rng.next_below(4);
+    if (rng.next_below(2) == 0) {
+      f.fixed_down_ns = 200;  // sub-threshold blips
+    } else {
+      f.mttr_ns = 5'000 + 5'000 * rng.next_below(3);
+    }
+    f.start_ns = 10'000;
+    f.end_ns = cc.duration;
+    cc.scenario.flapping(f);
+    any = true;
+  }
+  if (!any || rng.next_below(3) == 0) {
+    ChurnSpec c;
+    c.mode = rng.next_below(2) == 0 ? ChurnSpec::Mode::kRequeue
+                                    : ChurnSpec::Mode::kAbort;
+    c.events = 1 + static_cast<int>(rng.next_below(2));
+    c.first_leave_at = 30'000 + 10'000 * rng.next_below(4);
+    c.interval = 70'000;
+    c.downtime_ns = 20'000 + 10'000 * rng.next_below(3);
+    cc.scenario.host_churn(c);
+  }
+  return cc;
+}
+
+struct ChaosOutcome {
+  std::size_t flows{0};
+  std::size_t completed{0};
+  Bytes injected{0};
+  Bytes backlog{0};
+  std::uint64_t events{0};
+  ResilienceRecorder rec;
+
+  explicit ChaosOutcome(const NetworkConfig& cfg)
+      : rec(cfg.num_tors, cfg.ports_per_tor) {}
+};
+
+ChaosOutcome run_case(const ChaosCase& cc, int index) {
+  ChaosOutcome out(cc.cfg);
+  Runner runner(cc.cfg);
+  runner.fabric().set_resilience(&out.rec);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cc.cfg.num_tors,
+                        cc.cfg.host_rate(), 0.5, Rng(cc.workload_seed));
+  std::vector<Flow> flows = gen.generate(0, cc.duration);
+  Rng install_rng(cc.install_seed);
+  const ScenarioTimeline tl = cc.scenario.install(runner.fabric(),
+                                                  install_rng);
+  EXPECT_TRUE(tl.repairs_everything)
+      << "chaos compositions must always heal (case " << index << ")";
+  FaultScenario::rewrite_flows(flows, tl);
+  for (const Flow& f : flows) out.injected += f.size;
+  out.flows = flows.size();
+  runner.add_flows(flows);
+
+  FabricSim& fab = runner.fabric();
+  fab.run_until(cc.duration);
+
+  // Invariant 2: eventual drain. Run past the final repair, then give the
+  // fabric a bounded number of settle rounds to empty.
+  fab.run_until(std::max(cc.duration, tl.last_transition + 1));
+  const Nanos round = 500 * cc.cfg.epoch_length_ns();
+  for (int r = 0; r < 40 && (fab.total_backlog() > 0 ||
+                             fab.excluded_ports() > 0);
+       ++r) {
+    fab.run_until(fab.now() + round);
+  }
+  out.completed = fab.fct().completed();
+  out.backlog = fab.total_backlog();
+  out.events = fab.events_executed();
+
+  // Invariant 1: byte conservation — everything injected was delivered.
+  EXPECT_EQ(out.backlog, 0)
+      << "case " << index << " failed to drain after the final repair";
+  EXPECT_EQ(out.completed, out.flows)
+      << "case " << index << " lost or duplicated flows";
+  Bytes delivered = 0;
+  for (const FctSample& s : fab.fct().samples()) delivered += s.size;
+  EXPECT_EQ(delivered, out.injected)
+      << "case " << index << " delivered bytes != injected bytes";
+
+  // Invariant 3: FaultPlane convergence after healing.
+  EXPECT_EQ(fab.links().failed_count(), 0)
+      << "case " << index << ": scenario left links down";
+  EXPECT_EQ(fab.excluded_ports(), 0)
+      << "case " << index << ": exclusions did not converge";
+  EXPECT_EQ(out.rec.failures(), static_cast<std::int64_t>(tl.failure_count()));
+  EXPECT_EQ(out.rec.repairs(), static_cast<std::int64_t>(tl.repair_count()));
+  EXPECT_EQ(out.rec.exclusions(), out.rec.inclusions())
+      << "case " << index << ": exclusion churn did not settle";
+  return out;
+}
+
+TEST(ChaosScenarios, InvariantsHoldAcrossSeededScenarioSweep) {
+  const int count = scenario_count();
+  std::int64_t total_exclusion_churn = 0;
+  std::int64_t total_failures = 0;
+  Bytes total_blackholed = 0;
+  Bytes total_injected = 0;
+  std::int64_t detection_count = 0;
+  double detection_sum = 0;
+  for (int i = 0; i < count; ++i) {
+    const ChaosCase cc = build_case(i);
+    const ChaosOutcome out = run_case(cc, i);
+    total_failures += out.rec.failures();
+    total_exclusion_churn += out.rec.exclusion_churn();
+    total_blackholed += out.rec.blackholed_bytes();
+    total_injected += out.injected;
+    detection_count += out.rec.detection().count;
+    detection_sum += static_cast<double>(out.rec.detection().sum);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping the sweep at case " << i << " ("
+             << cc.cfg.summary() << ")";
+    }
+  }
+  EXPECT_GT(total_failures, 0) << "the sweep never injected a fault";
+  if (const char* path = std::getenv("NEG_CHAOS_JSON")) {
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fprintf(
+        f,
+        "{\n  \"scenarios\": %d,\n  \"total_failures\": %lld,\n"
+        "  \"total_exclusion_churn\": %lld,\n"
+        "  \"total_blackholed_bytes\": %lld,\n"
+        "  \"total_injected_bytes\": %lld,\n"
+        "  \"detection_samples\": %lld,\n"
+        "  \"detection_mean_ns\": %.1f\n}\n",
+        count, static_cast<long long>(total_failures),
+        static_cast<long long>(total_exclusion_churn),
+        static_cast<long long>(total_blackholed),
+        static_cast<long long>(total_injected),
+        static_cast<long long>(detection_count),
+        detection_count > 0 ? detection_sum /
+                                  static_cast<double>(detection_count)
+                            : 0.0);
+    std::fclose(f);
+  }
+}
+
+TEST(ChaosScenarios, SweepCoversEverySchedulerAndBothTopologies) {
+  const int count = scenario_count();
+  bool sched_seen[kSchedulerCount] = {};
+  bool topo_seen[2] = {};
+  for (int i = 0; i < count; ++i) {
+    const ChaosCase cc = build_case(i);
+    for (std::size_t s = 0; s < kSchedulerCount; ++s) {
+      if (cc.cfg.scheduler == kAllSchedulers[s]) sched_seen[s] = true;
+    }
+    topo_seen[cc.cfg.topology == TopologyKind::kThinClos ? 1 : 0] = true;
+  }
+  for (std::size_t s = 0; s < kSchedulerCount; ++s) {
+    EXPECT_TRUE(sched_seen[s]) << "scheduler kind " << s << " never swept";
+  }
+  EXPECT_TRUE(topo_seen[0] && topo_seen[1]);
+}
+
+TEST(ChaosScenarios, FixedSeedScenariosAreReproducible) {
+  // A chaotic timeline is still a pure function of its seeds: re-running
+  // the same case must replay the identical simulation.
+  for (const int i : {0, 3, 7, 11, 16}) {
+    const ChaosCase cc = build_case(i);
+    const ChaosOutcome a = run_case(cc, i);
+    const ChaosOutcome b = run_case(cc, i);
+    EXPECT_EQ(a.completed, b.completed) << "case " << i;
+    EXPECT_EQ(a.injected, b.injected) << "case " << i;
+    EXPECT_EQ(a.events, b.events) << "case " << i;
+    EXPECT_EQ(a.rec.exclusion_churn(), b.rec.exclusion_churn())
+        << "case " << i;
+    EXPECT_EQ(a.rec.blackholed_bytes(), b.rec.blackholed_bytes())
+        << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace negotiator

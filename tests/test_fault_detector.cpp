@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace negotiator {
 namespace {
 
@@ -63,6 +65,107 @@ TEST(FaultPlane, HitResetsMissStreak) {
   fp.observe_ingress(0, 0, false);
   fp.end_epoch();
   EXPECT_FALSE(fp.rx_excluded(0, 0));
+}
+
+TEST(FaultPlane, RepairMidEpochBeforeDetectionConfirmsNeverExcludes) {
+  // The link dies, racks up misses, and is repaired before the streak
+  // reaches the threshold — the detection must be abandoned, not latched.
+  FaultPlane fp(4, 2, /*threshold=*/8);
+  for (int i = 0; i < 7; ++i) fp.observe_ingress(1, 0, false);
+  // Light returns mid-epoch, one observation short of confirming.
+  fp.observe_ingress(1, 0, true);
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(1, 0));
+  EXPECT_EQ(fp.excluded_count(), 0);
+  // And nothing is latched for later epochs either.
+  fp.end_epoch();
+  EXPECT_EQ(fp.excluded_count(), 0);
+  EXPECT_TRUE(fp.quiescent());
+}
+
+TEST(FaultPlane, FlapOneObservationBelowThresholdNeverExcludes) {
+  // A persistent flapper that always recovers one observation before the
+  // threshold: no number of cycles may accumulate into an exclusion.
+  FaultPlane fp(4, 2, /*threshold=*/8);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    for (int i = 0; i < 7; ++i) fp.observe_ingress(2, 1, false);
+    fp.observe_ingress(2, 1, true);
+    if (cycle % 3 == 0) fp.end_epoch();  // epoch edges mid-flap too
+  }
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(2, 1));
+  EXPECT_EQ(fp.excluded_count(), 0);
+}
+
+TEST(FaultPlane, SimultaneousIngressAndEgressExclusionOnSamePort) {
+  // Both directions of one port go dark in the same epoch: both must be
+  // excluded by the same broadcast, tracked independently, and recover
+  // independently.
+  FaultPlane fp(4, 2, /*threshold=*/3);
+  for (int i = 0; i < 3; ++i) {
+    fp.observe_ingress(1, 1, false);
+    fp.observe_egress(1, 1, false);
+  }
+  fp.end_epoch();
+  EXPECT_TRUE(fp.rx_excluded(1, 1));
+  EXPECT_TRUE(fp.tx_excluded(1, 1));
+  EXPECT_EQ(fp.excluded_count(), 2);
+  // Only the ingress side heals.
+  for (int i = 0; i < 3; ++i) fp.observe_ingress(1, 1, true);
+  fp.end_epoch();
+  EXPECT_FALSE(fp.rx_excluded(1, 1));
+  EXPECT_TRUE(fp.tx_excluded(1, 1)) << "directions recover independently";
+  EXPECT_EQ(fp.excluded_count(), 1);
+  for (int i = 0; i < 3; ++i) fp.observe_egress(1, 1, true);
+  fp.end_epoch();
+  EXPECT_EQ(fp.excluded_count(), 0);
+}
+
+TEST(FaultPlane, ListenerSeesTransitionsWithBroadcastTimestamps) {
+  struct Capture : FaultPlane::Listener {
+    struct Event {
+      Nanos now;
+      TorId tor;
+      PortId port;
+      LinkDirection dir;
+      bool exclude;
+    };
+    std::vector<Event> events;
+    void on_exclude(Nanos now, TorId tor, PortId port,
+                    LinkDirection dir) override {
+      events.push_back({now, tor, port, dir, true});
+    }
+    void on_include(Nanos now, TorId tor, PortId port,
+                    LinkDirection dir) override {
+      events.push_back({now, tor, port, dir, false});
+    }
+  };
+  Capture cap;
+  FaultPlane fp(4, 2, /*threshold=*/2);
+  fp.observe_ingress(3, 1, false);
+  fp.observe_ingress(3, 1, false);
+  fp.observe_egress(2, 0, false);
+  fp.observe_egress(2, 0, false);
+  fp.end_epoch(&cap, 1'000);
+  ASSERT_EQ(cap.events.size(), 2u);
+  EXPECT_EQ(cap.events[0].now, 1'000);
+  EXPECT_EQ(cap.events[0].tor, 3);
+  EXPECT_EQ(cap.events[0].port, 1);
+  EXPECT_EQ(cap.events[0].dir, LinkDirection::kIngress);
+  EXPECT_TRUE(cap.events[0].exclude);
+  EXPECT_EQ(cap.events[1].dir, LinkDirection::kEgress);
+  EXPECT_EQ(cap.events[1].tor, 2);
+  fp.observe_ingress(3, 1, true);
+  fp.observe_ingress(3, 1, true);
+  fp.end_epoch(&cap, 2'000);
+  ASSERT_EQ(cap.events.size(), 3u);
+  EXPECT_EQ(cap.events[2].now, 2'000);
+  EXPECT_FALSE(cap.events[2].exclude);
+  // A null listener (the default) stays valid.
+  fp.observe_egress(2, 0, true);
+  fp.observe_egress(2, 0, true);
+  fp.end_epoch();
+  EXPECT_EQ(fp.excluded_count(), 0);
 }
 
 TEST(FaultPlane, MultiplePortsTrackedSeparately) {

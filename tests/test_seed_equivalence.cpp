@@ -23,6 +23,7 @@
 
 #include "common/config.h"
 #include "common/rng.h"
+#include "engine/fault_scenario.h"
 #include "engine/runner.h"
 #include "workload/generator.h"
 #include "workload/size_distribution.h"
@@ -44,9 +45,87 @@ struct Scenario {
   bool rotate{true};
   bool incast_burst{false};  // out-of-order arrivals (heap/bucket tier)
   int iterations{1};
+  const char* chaos{nullptr};  // canned fault scenario (see canned_chaos)
 };
 
 constexpr Nanos kDuration = 400'000;  // 0.4 ms simulated
+
+/// Canned fault scenarios for the chaos goldens. Each is a fixed spec —
+/// all randomness comes from the Rng handed to install(), so the resulting
+/// timeline (and thus the fingerprint) is pinned by the scenario seed.
+FaultScenario canned_chaos(const char* kind) {
+  FaultScenario fs;
+  const std::string k = kind;
+  if (k == "storm") {
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 2;
+    s.first_burst_at = 60'000;
+    s.burst_interval = 140'000;
+    s.burst_window = 20'000;
+    s.outage_ns = 60'000;
+    s.repair_stagger = 20'000;
+    fs.storm(s);
+  } else if (k == "plane-storm") {
+    StormSpec s;
+    s.zone = StormSpec::Zone::kPortPlane;
+    s.bursts = 1;
+    s.first_burst_at = 80'000;
+    s.burst_window = 10'000;
+    s.outage_ns = 80'000;
+    s.repair_stagger = 10'000;
+    fs.storm(s);
+  } else if (k == "flap") {
+    FlapSpec f;
+    f.link_fraction = 0.08;
+    f.mtbf_ns = 60'000;
+    f.mttr_ns = 12'000;
+    f.start_ns = 40'000;
+    f.end_ns = 300'000;
+    fs.flapping(f);
+  } else if (k == "churn") {
+    ChurnSpec c;
+    c.mode = ChurnSpec::Mode::kRequeue;
+    c.events = 3;
+    c.first_leave_at = 50'000;
+    c.interval = 90'000;
+    c.downtime_ns = 40'000;
+    fs.host_churn(c);
+  } else if (k == "churn-abort") {
+    ChurnSpec c;
+    c.mode = ChurnSpec::Mode::kAbort;
+    c.events = 2;
+    c.first_leave_at = 60'000;
+    c.interval = 120'000;
+    c.downtime_ns = 50'000;
+    fs.host_churn(c);
+  } else if (k == "mix") {
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 1;
+    s.first_burst_at = 70'000;
+    s.burst_window = 15'000;
+    s.outage_ns = 50'000;
+    s.repair_stagger = 15'000;
+    FlapSpec f;
+    f.link_fraction = 0.04;
+    f.mtbf_ns = 80'000;
+    f.mttr_ns = 10'000;
+    f.start_ns = 30'000;
+    f.end_ns = 260'000;
+    ChurnSpec c;
+    c.mode = ChurnSpec::Mode::kRequeue;
+    c.events = 1;
+    c.first_leave_at = 150'000;
+    c.downtime_ns = 60'000;
+    fs.storm(s).flapping(f).host_churn(c);
+  } else {
+    ADD_FAILURE() << "unknown canned chaos scenario: " << kind;
+  }
+  return fs;
+}
 
 std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t bits) {
   for (int i = 0; i < 8; ++i) {
@@ -83,7 +162,14 @@ std::uint64_t run_fingerprint(const Scenario& sc) {
   Runner runner(cfg);
   WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
                         cfg.host_rate(), sc.load, Rng(sc.seed));
-  runner.add_flows(gen.generate(0, kDuration));
+  std::vector<Flow> flows = gen.generate(0, kDuration);
+  if (sc.chaos != nullptr) {
+    Rng chaos_rng(sc.seed * 7919 + 0x5eed);
+    const ScenarioTimeline timeline =
+        canned_chaos(sc.chaos).install(runner.fabric(), chaos_rng);
+    FaultScenario::rewrite_flows(flows, timeline);
+  }
+  runner.add_flows(flows);
   if (sc.incast_burst) {
     // A second batch with earlier timestamps than the tail of the first:
     // these arrivals are out of order for the pre-sorted stream tier.
@@ -201,6 +287,38 @@ const Scenario kScenarios[] = {
      SchedulerKind::kOblivious, 16, 8, 0.1, 29},
     {"oblivious/thin-clos/failures", TopologyKind::kThinClos,
      SchedulerKind::kOblivious, 16, 8, 0.6, 30, true},
+    // Fault-scenario engine goldens: storms, flapping, churn, and a mixed
+    // timeline on each fabric family (engine/fault_scenario.h).
+    {"negotiator/parallel/storm", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 41, false, false, true, true,
+     false, 1, "storm"},
+    {"negotiator/thin-clos/plane-storm", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 42, false, false, true, true,
+     false, 1, "plane-storm"},
+    {"negotiator/parallel/flap", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 43, false, false, true, true,
+     false, 1, "flap"},
+    {"negotiator/parallel/churn", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 44, false, false, true, true,
+     false, 1, "churn"},
+    {"negotiator/thin-clos/mix", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 45, false, false, true, true,
+     false, 1, "mix"},
+    {"oblivious/thin-clos/storm", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 46, false, false, true, true,
+     false, 1, "storm"},
+    {"oblivious/parallel/plane-storm", TopologyKind::kParallel,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 47, false, false, true, true,
+     false, 1, "plane-storm"},
+    {"oblivious/thin-clos/flap", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 48, false, false, true, true,
+     false, 1, "flap"},
+    {"oblivious/thin-clos/churn-abort", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 49, false, false, true, true,
+     false, 1, "churn-abort"},
+    {"oblivious/thin-clos/mix", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 50, false, false, true, true,
+     false, 1, "mix"},
 };
 
 // Golden fingerprints captured from the seed engine (pre-sparse pipeline).
@@ -239,6 +357,16 @@ const Golden kGoldens[] = {
     {"oblivious/parallel", 0xf834a14746d25cb0ULL},
     {"oblivious/thin-clos/light", 0x98c0ad814c105a9eULL},
     {"oblivious/thin-clos/failures", 0xb8ed02f1685e16b2ULL},
+    {"negotiator/parallel/storm", 0xe7befe43fa75e06aULL},
+    {"negotiator/thin-clos/plane-storm", 0x8b21ba53c98cf9a3ULL},
+    {"negotiator/parallel/flap", 0x8c64ee3c291697fdULL},
+    {"negotiator/parallel/churn", 0xb3491595eb54d6b6ULL},
+    {"negotiator/thin-clos/mix", 0xfa36daeb71fab5ULL},
+    {"oblivious/thin-clos/storm", 0x4eeb5618b46bc467ULL},
+    {"oblivious/parallel/plane-storm", 0xbd4437448fa10219ULL},
+    {"oblivious/thin-clos/flap", 0x36c8c7a14caaac12ULL},
+    {"oblivious/thin-clos/churn-abort", 0x1b4022ea527a1a7fULL},
+    {"oblivious/thin-clos/mix", 0xaabca0dc108090aULL},
 };
 
 static_assert(std::size(kScenarios) == std::size(kGoldens),
