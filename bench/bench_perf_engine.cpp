@@ -23,6 +23,14 @@
 // Each row carries a result fingerprint so check_perf.py gates the fault
 // path's bit-identity exactly like the scaling rows.
 //
+// A control_loss section runs the negotiator systems with the seeded lossy
+// control plane installed (drop/delay/duplicate at a fixed mix, with and
+// without the per-slot oblivious fallback) plus one loss-disabled reference
+// row per system. Each row carries a result fingerprint so check_perf.py
+// gates the control-fault path's bit-identity, and the reference row must
+// fingerprint-identically to a run that never constructed the channel —
+// the disabled-path witness at bench scale.
+//
 // A third section records the *scaling* dimension: events/sec for every
 // fig9 system at N in {16, 64, 128, 256} — plus an oblivious-only tail at
 // N = 512 (the all-to-all VLB data plane is the densest per-slot walk, so
@@ -41,6 +49,8 @@
 //   NEG_PERF_SCALING_OBLIVIOUS_TORS  extra N list run for the oblivious
 //                      system only (default "512")
 //   NEG_PERF_STORM_TORS  N list for the storm section (default "16,64")
+//   NEG_PERF_CONTROL_TORS  N list for the control_loss section
+//                      (default "16")
 //   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
 //   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
 //                      (default "1,2,<hardware concurrency>"; on a 1-core
@@ -140,6 +150,10 @@ std::vector<int> scaling_oblivious_tor_counts() {
 
 std::vector<int> storm_tor_counts() {
   return parse_int_list("NEG_PERF_STORM_TORS", "16,64", 2);
+}
+
+std::vector<int> control_tor_counts() {
+  return parse_int_list("NEG_PERF_CONTROL_TORS", "16", 2);
 }
 
 /// Why the multi-thread sweep rows were skipped; empty when they ran.
@@ -380,9 +394,79 @@ StormRun measure_storm(const char* name, TopologyKind topo,
   return out;
 }
 
+/// One negotiator system under seeded control-plane loss: events/sec on
+/// the control-fault path, the damage (match ratio, stranded backlog) and
+/// the fallback's contribution, plus a result fingerprint pinning the
+/// lossy path's bit-identity. `label` distinguishes the sub-configuration
+/// (check_perf.py matches baseline rows by (name, num_tors, label)).
+struct ControlLossRun {
+  PerfRun run;
+  std::string label;
+  double match_ratio;
+  std::uint64_t stranded_bytes;
+  std::uint64_t fallback_bytes;
+  std::int64_t degraded_slots;
+  std::uint64_t control_dropped;
+};
+
+ControlLossRun measure_control_loss(const char* name, TopologyKind topo,
+                                    SchedulerKind sched, int n, double load,
+                                    Nanos duration, double drop,
+                                    bool fallback, bool lossless,
+                                    const char* label) {
+  NetworkConfig cfg = paper_config(topo, sched);
+  cfg.num_tors = n;
+  if (!lossless) {
+    // The same drop/delay/duplicate mix the lossy goldens pin, so a bench
+    // fingerprint change and a golden change always move together.
+    cfg.control_fault.enabled = true;
+    cfg.control_fault.request_drop = drop;
+    cfg.control_fault.grant_drop = drop;
+    cfg.control_fault.accept_drop = drop;
+    cfg.control_fault.delay_prob = 0.1;
+    cfg.control_fault.max_delay_epochs = 2;
+    cfg.control_fault.duplicate_prob = 0.05;
+    cfg.control_fault.fallback = fallback;
+  }
+  Runner runner(cfg);
+  ResilienceRecorder rec(cfg.num_tors, cfg.ports_per_tor);
+  runner.fabric().set_resilience(&rec);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
+                        cfg.host_rate(), load, Rng(9));
+  const auto flows = gen.generate(0, duration);
+  runner.add_flows(flows);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = runner.run(duration, duration / 2);
+  const auto t1 = std::chrono::steady_clock::now();
+  ControlLossRun out;
+  out.run.name = name;
+  out.run.num_tors = n;
+  out.run.topology = to_string(topo);
+  out.run.scheduler = to_string(sched);
+  out.run.load = load;
+  out.run.sim_ns = duration;
+  out.run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.run.events = runner.fabric().events_executed();
+  out.run.dispatches = runner.fabric().events_dispatched();
+  out.run.deliveries = runner.fabric().deliveries();
+  out.run.delivery_dispatches = runner.fabric().delivery_dispatches();
+  out.run.result_fingerprint = result_fingerprint(runner, r);
+  out.run.flows = flows.size();
+  out.run.completed = r.completed;
+  out.label = label;
+  out.match_ratio = rec.control_grants() > 0 ? rec.control_match_ratio()
+                                             : r.mean_match_ratio;
+  out.stranded_bytes = static_cast<std::uint64_t>(r.backlog);
+  out.fallback_bytes = static_cast<std::uint64_t>(rec.fallback_bytes());
+  out.degraded_slots = rec.degraded_slots();
+  out.control_dropped = static_cast<std::uint64_t>(rec.control_dropped());
+  return out;
+}
+
 void write_json(const char* path, const std::vector<PerfRun>& runs,
                 const std::vector<PerfRun>& scaling,
                 const std::vector<StormRun>& storms,
+                const std::vector<ControlLossRun>& control,
                 const std::vector<SweepPerf>& sweeps, int sweep_tors,
                 bool deterministic, const std::string& skipped_reason) {
   std::FILE* f = std::fopen(path, "w");
@@ -472,6 +556,34 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                  static_cast<unsigned long long>(s.blackholed_bytes),
                  static_cast<unsigned long long>(r.result_fingerprint),
                  i + 1 < storms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Control loss: the lossy control plane with and without the per-slot
+  // oblivious fallback, fingerprint-gated per row like scaling/storm. The
+  // label names the sub-configuration; check_perf.py keys baseline rows on
+  // (name, num_tors, label).
+  std::fprintf(f, "  \"control_loss\": [\n");
+  for (std::size_t i = 0; i < control.size(); ++i) {
+    const ControlLossRun& c = control[i];
+    const PerfRun& r = c.run;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"num_tors\": %d, "
+                 "\"label\": \"%s\", \"sim_ns\": %lld, "
+                 "\"events\": %llu, \"wall_seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f, \"match_ratio\": %.4f, "
+                 "\"stranded_bytes\": %llu, \"fallback_bytes\": %llu, "
+                 "\"degraded_slots\": %lld, \"control_dropped\": %llu, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
+                 r.name.c_str(), r.num_tors, c.label.c_str(),
+                 static_cast<long long>(r.sim_ns),
+                 static_cast<unsigned long long>(r.events), r.wall_seconds,
+                 r.events_per_sec(), c.match_ratio,
+                 static_cast<unsigned long long>(c.stranded_bytes),
+                 static_cast<unsigned long long>(c.fallback_bytes),
+                 static_cast<long long>(c.degraded_slots),
+                 static_cast<unsigned long long>(c.control_dropped),
+                 static_cast<unsigned long long>(r.result_fingerprint),
+                 i + 1 < control.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
@@ -615,6 +727,42 @@ int main() {
   }
   storm_table.print();
 
+  // --- Control-loss dimension: the lossy control plane, off/on fallback. ---
+  print_header("Control loss: events/sec and damage under a lossy control "
+               "plane");
+  const struct {
+    double drop;
+    bool fallback;
+    bool lossless;
+    const char* label;
+  } control_cfgs[] = {
+      {0.0, false, true, "lossless"},
+      {0.25, false, false, "drop 0.25"},
+      {0.25, true, false, "drop 0.25 fallback"},
+  };
+  std::vector<ControlLossRun> control;
+  ConsoleTable control_table({"system", "N", "config", "events/s",
+                              "match ratio", "stranded MB", "fallback MB",
+                              "degr slots", "dropped"});
+  for (const int n : control_tor_counts()) {
+    for (const auto& sys : {systems[0], systems[1]}) {  // negotiator only
+      for (const auto& cc : control_cfgs) {
+        const ControlLossRun c = measure_control_loss(
+            sys.name, sys.topo, sys.sched, n, load, duration, cc.drop,
+            cc.fallback, cc.lossless, cc.label);
+        control_table.add_row(
+            {c.run.name, std::to_string(c.run.num_tors), c.label,
+             fmt(c.run.events_per_sec(), 0), fmt(c.match_ratio, 3),
+             fmt(static_cast<double>(c.stranded_bytes) / 1e6, 3),
+             fmt(static_cast<double>(c.fallback_bytes) / 1e6, 3),
+             std::to_string(c.degraded_slots),
+             std::to_string(c.control_dropped)});
+        control.push_back(c);
+      }
+    }
+  }
+  control_table.print();
+
   // --- Sweep dimension: the fig9 grid across worker-thread counts. ---
   const int sweep_tors = [] {
     const char* env = std::getenv("NEG_PERF_SWEEP_TORS");
@@ -660,7 +808,7 @@ int main() {
               deterministic ? "PASS" : "FAIL");
 
   if (const char* path = std::getenv("NEG_PERF_JSON")) {
-    write_json(path, runs, scaling, storms, sweeps, sweep_tors,
+    write_json(path, runs, scaling, storms, control, sweeps, sweep_tors,
                deterministic, skipped);
   }
   return deterministic ? 0 : 1;

@@ -18,7 +18,11 @@ Gating:
   - the fresh storm section (the fault path under a mid-run zonal burst)
     must exist, be non-empty, and its row fingerprints must match the
     committed baseline under the same matching rule — the storm rows are
-    the fault path's bit-identity witness.
+    the fault path's bit-identity witness;
+  - the fresh control_loss section (the seeded lossy control plane, with
+    and without the per-slot oblivious fallback) must exist, be non-empty,
+    and its row fingerprints must match the committed baseline — the lossy
+    rows are the control-fault path's bit-identity witness.
   Exit code 1 on any of these.
 
 Non-gating (::warning:: only — runner hardware varies, a human decides):
@@ -65,22 +69,39 @@ def matched_aggregate(fresh, baseline):
     return matched, events / wall, base_events / base_wall
 
 
-def check_scaling(fresh, baseline):
-    """Validates the scaling section; returns True when gating failed."""
-    rows = fresh.get("scaling", [])
+def row_context(r):
+    """Human-readable identity of one section row: which system, at what
+    size, under which sub-configuration, over which duration."""
+    parts = [f"system={r.get('name', '?')}", f"N={r.get('num_tors', '?')}"]
+    if r.get("label"):
+        parts.append(f"label={r['label']}")
+    parts.append(f"sim_ns={r.get('sim_ns', '?')}")
+    return " ".join(parts)
+
+
+def check_section(fresh, baseline, section, missing_hint, mismatch_hint):
+    """Validates one fingerprinted section; returns True when gating failed.
+
+    Rows are matched to the committed baseline by (name, num_tors, label);
+    fingerprints only compare across equal sim_ns (they hash the simulated
+    output, so different durations are different runs). A mismatch prints
+    the offending row's full context so the failure names the exact
+    configuration that diverged.
+    """
+    rows = fresh.get(section, [])
     if not rows:
-        print("::error::fresh perf JSON has no scaling section — "
-              "bench_perf_engine did not record events/sec vs N")
+        print(f"::error::fresh perf JSON has no {section} section — "
+              f"bench_perf_engine did not record {missing_hint}")
         return True
     failed = False
-    base_rows = {(r["name"], r["num_tors"]): r
-                 for r in baseline.get("scaling", [])}
+    base_rows = {(r["name"], r["num_tors"], r.get("label")): r
+                 for r in baseline.get(section, [])}
     compared = 0
     for r in rows:
-        key = (r["name"], r["num_tors"])
+        key = (r["name"], r["num_tors"], r.get("label"))
         if "fingerprint" not in r:
-            print(f"::error::scaling row {key} carries no result "
-                  "fingerprint — the bit-identity witness is missing")
+            print(f"::error::{section} row [{row_context(r)}] carries no "
+                  "result fingerprint — the bit-identity witness is missing")
             failed = True
             continue
         b = base_rows.get(key)
@@ -89,10 +110,9 @@ def check_scaling(fresh, baseline):
         if b.get("fingerprint") and b.get("sim_ns") == r.get("sim_ns"):
             compared += 1
             if b["fingerprint"] != r["fingerprint"]:
-                print(f"::error::scaling fingerprint mismatch for {key} at "
-                      f"sim_ns={r['sim_ns']}: {r['fingerprint']} vs "
-                      f"committed {b['fingerprint']} — simulated output "
-                      "changed at an N the golden tests don't cover")
+                print(f"::error::{section} fingerprint mismatch for "
+                      f"[{row_context(r)}]: {r['fingerprint']} vs committed "
+                      f"{b['fingerprint']} — {mismatch_hint}")
                 failed = True
         if b.get("events_per_sec") and b.get("sim_ns") == r.get("sim_ns"):
             # Same duration only: a 30 ms paper-scale run vs the 2 ms
@@ -100,56 +120,14 @@ def check_scaling(fresh, baseline):
             # mix, so its events/sec is not comparable.
             ratio = r["events_per_sec"] / b["events_per_sec"]
             if ratio < 1.0 - REGRESSION_THRESHOLD:
-                print(f"::warning::scaling events/sec for {key} regressed "
+                print(f"::warning::{section} events/sec for "
+                      f"[{row_context(r)}] regressed "
                       f"{(1.0 - ratio) * 100:.0f}% vs the committed "
                       "baseline (non-gating: runner hardware varies)")
     skipped = len(rows) - compared
     note = (f" ({skipped} rows without a comparable baseline — different "
             "sim_ns or not in the committed file)" if skipped else "")
-    print(f"scaling: {len(rows)} rows, {compared} fingerprints compared "
-          f"against the baseline{note}")
-    return failed
-
-
-def check_storm(fresh, baseline):
-    """Validates the storm section; returns True when gating failed."""
-    rows = fresh.get("storm", [])
-    if not rows:
-        print("::error::fresh perf JSON has no storm section — "
-              "bench_perf_engine did not record the fault path")
-        return True
-    failed = False
-    base_rows = {(r["name"], r["num_tors"]): r
-                 for r in baseline.get("storm", [])}
-    compared = 0
-    for r in rows:
-        key = (r["name"], r["num_tors"])
-        if "fingerprint" not in r:
-            print(f"::error::storm row {key} carries no result fingerprint "
-                  "— the fault path's bit-identity witness is missing")
-            failed = True
-            continue
-        b = base_rows.get(key)
-        if b is None:
-            continue
-        if b.get("fingerprint") and b.get("sim_ns") == r.get("sim_ns"):
-            compared += 1
-            if b["fingerprint"] != r["fingerprint"]:
-                print(f"::error::storm fingerprint mismatch for {key} at "
-                      f"sim_ns={r['sim_ns']}: {r['fingerprint']} vs "
-                      f"committed {b['fingerprint']} — the simulated fault "
-                      "path changed behaviour")
-                failed = True
-        if b.get("events_per_sec") and b.get("sim_ns") == r.get("sim_ns"):
-            ratio = r["events_per_sec"] / b["events_per_sec"]
-            if ratio < 1.0 - REGRESSION_THRESHOLD:
-                print(f"::warning::storm events/sec for {key} regressed "
-                      f"{(1.0 - ratio) * 100:.0f}% vs the committed "
-                      "baseline (non-gating: runner hardware varies)")
-    skipped = len(rows) - compared
-    note = (f" ({skipped} rows without a comparable baseline — different "
-            "sim_ns or not in the committed file)" if skipped else "")
-    print(f"storm: {len(rows)} rows, {compared} fingerprints compared "
+    print(f"{section}: {len(rows)} rows, {compared} fingerprints compared "
           f"against the baseline{note}")
     return failed
 
@@ -224,9 +202,19 @@ def main():
         note = f" (multi-thread rows skipped: {reason})" if reason else ""
         print(f"determinism: PASS{note}")
 
-    if check_scaling(fresh, baseline):
+    if check_section(fresh, baseline, "scaling",
+                     "events/sec vs N",
+                     "simulated output changed at an N the golden tests "
+                     "don't cover"):
         failed = True
-    if check_storm(fresh, baseline):
+    if check_section(fresh, baseline, "storm",
+                     "the fault path",
+                     "the simulated fault path changed behaviour"):
+        failed = True
+    if check_section(fresh, baseline, "control_loss",
+                     "the lossy control plane",
+                     "the lossy control plane (drop/delay/dup or the "
+                     "oblivious fallback) changed behaviour"):
         failed = True
     check_scaling_shape(fresh, baseline)
 

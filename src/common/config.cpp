@@ -91,6 +91,24 @@ void NetworkConfig::validate() const {
       (pias.first_threshold <= 0 || pias.second_threshold <= 0)) {
     fail("PIAS thresholds must be positive");
   }
+  if (control_fault.enabled) {
+    auto bad_prob = [](double p) { return p < 0.0 || p > 1.0; };
+    if (bad_prob(control_fault.request_drop) ||
+        bad_prob(control_fault.grant_drop) ||
+        bad_prob(control_fault.accept_drop)) {
+      fail("control-fault drop probabilities must be in [0, 1]");
+    }
+    if (bad_prob(control_fault.delay_prob) ||
+        bad_prob(control_fault.duplicate_prob)) {
+      fail("control-fault delay/duplicate probabilities must be in [0, 1]");
+    }
+    if (control_fault.max_delay_epochs < 1) {
+      fail("control-fault max_delay_epochs must be >= 1");
+    }
+    if (control_fault.fallback && scheduler == SchedulerKind::kOblivious) {
+      fail("control-fault fallback needs a negotiator-family scheduler");
+    }
+  }
 }
 
 std::string NetworkConfig::summary() const {
@@ -100,6 +118,13 @@ std::string NetworkConfig::summary() const {
      << port_rate().gbps() << " Gbps/port (speedup " << speedup << "), epoch "
      << epoch_length_ns() << " ns (" << predefined_slots() << " predefined + "
      << epoch.scheduled_slots << " scheduled slots)";
+  if (control_fault.enabled) {
+    os << ", lossy control plane (drop " << control_fault.request_drop << "/"
+       << control_fault.grant_drop << "/" << control_fault.accept_drop
+       << ", delay " << control_fault.delay_prob << ", dup "
+       << control_fault.duplicate_prob
+       << (control_fault.fallback ? ", fallback on)" : ")");
+  }
   return os.str();
 }
 

@@ -104,6 +104,34 @@ struct HostPlaneConfig {
   bool operator==(const HostPlaneConfig&) const = default;
 };
 
+/// Control-plane fault model (see core/control_channel.h): seeded drop /
+/// delay / duplication of REQUEST / GRANT / ACCEPT messages at the
+/// predefined-phase exchange points, plus scenario-driven brownout windows
+/// (engine/fault_scenario.h, ControlBrownoutSpec). Disabled by default; a
+/// disabled channel is never constructed, so every RNG draw — and therefore
+/// every golden fingerprint — is identical to a build without the model.
+struct ControlFaultConfig {
+  bool enabled{false};
+  /// Per-class drop probability for a message crossing one predefined-phase
+  /// connection (each physical transmission draws independently).
+  double request_drop{0.0};
+  double grant_drop{0.0};
+  double accept_drop{0.0};
+  /// Probability a surviving message is delayed instead of delivered; a
+  /// delayed message lands 1..max_delay_epochs epochs late (uniform).
+  double delay_prob{0.0};
+  int max_delay_epochs{1};
+  /// Probability a delivered message arrives twice (requests and grants;
+  /// accept receivers are idempotent, so a duplicate accept is only
+  /// counted).
+  double duplicate_prob{0.0};
+  /// Graceful degradation: a source left unmatched by a lossy negotiation
+  /// falls back to oblivious/rotor spreading during the scheduled phase.
+  bool fallback{false};
+
+  bool operator==(const ControlFaultConfig&) const = default;
+};
+
 /// Sirius-style traffic-oblivious baseline knobs.
 struct ObliviousConfig {
   /// Total relay-buffer capacity at an intermediate ToR; senders stop
@@ -151,6 +179,13 @@ struct NetworkConfig {
   VariantConfig variant;
   ObliviousConfig oblivious;
   HostPlaneConfig host_plane;
+  ControlFaultConfig control_fault;
+
+  /// Run the per-epoch MatchingValidator (core/matching_validator.h) on
+  /// every matching the scheduler emits. Debug/sanitizer builds force this
+  /// on; release builds opt in (the chaos harness and the lossy goldens
+  /// do). A violation aborts via NEG_ASSERT.
+  bool validate_matching{false};
 
   std::uint64_t seed{1};
 

@@ -58,6 +58,84 @@ void NegotiatorScheduler::clear_inboxes() {
   inbox_accepts_.clear();
 }
 
+void NegotiatorScheduler::deliver_request_lossy(TorId dst,
+                                                const RequestMsg& msg) {
+  const ControlChannel::Fate fate = control_->classify(ControlClass::kRequest);
+  if (fate.delay_epochs > 0) {
+    delayed_requests_.push_back({epoch_ + 1 + fate.delay_epochs, dst, msg});
+    return;
+  }
+  if (!fate.deliver) return;
+  inbox_requests_.push(dst, msg);
+  // A duplicate request is the protocol's own stateless re-request arriving
+  // twice; the matching engine tolerates it (§3.5).
+  if (fate.duplicate) inbox_requests_.push(dst, msg);
+}
+
+void NegotiatorScheduler::deliver_grant_lossy(TorId dst, const GrantMsg& msg) {
+  const ControlChannel::Fate fate = control_->classify(ControlClass::kGrant);
+  if (fate.delay_epochs > 0) {
+    // A grant names an rx port that is free in the *next* epoch only; by
+    // the time a delayed copy arrives the predefined schedule has moved on
+    // and the destination may have granted that port to someone else, so
+    // honouring it would double-book the rx port (the MatchingValidator
+    // catches exactly this). A late grant is therefore useless on arrival:
+    // counted as delayed by the channel, never delivered. The source is
+    // unharmed — its stateless re-request draws a fresh grant next epoch.
+    return;
+  }
+  if (!fate.deliver) return;
+  inbox_grants_.push(dst, msg);
+  // Duplicate grants pin the same tx port at the accepting source, so the
+  // per-port choose-one in MatchingEngine::accept collapses them — safe to
+  // deliver both copies.
+  if (fate.duplicate) inbox_grants_.push(dst, msg);
+}
+
+void NegotiatorScheduler::deliver_accept_lossy(TorId dst,
+                                               const AcceptMsg& msg) {
+  const ControlChannel::Fate fate = control_->classify(ControlClass::kAccept);
+  if (fate.delay_epochs > 0) {
+    delayed_accepts_.push_back({epoch_ + 1 + fate.delay_epochs, dst, msg});
+    return;
+  }
+  if (!fate.deliver) return;
+  inbox_accepts_.push(dst, msg);
+  // Accept receivers are idempotent: the duplicate is counted by the
+  // channel but a second copy would carry no protocol information, so it
+  // is not materialized.
+}
+
+void NegotiatorScheduler::deliver_pair_lossy(TorId src, TorId dst, bool ok) {
+  const std::size_t index =
+      static_cast<std::size_t>(src) * topo_.num_tors() + dst;
+  if (out_stamp_[index] != epoch_) return;
+  if (!ok) return;
+  const PairOut& entry = out_[index];
+  if (entry.has_request) deliver_request_lossy(dst, entry.request);
+  for (const RequestMsg& r : entry.relay_requests) {
+    deliver_request_lossy(dst, r);
+  }
+  for (const GrantMsg& g : entry.grants) deliver_grant_lossy(dst, g);
+  if (entry.has_accept) deliver_accept_lossy(dst, entry.accept);
+}
+
+void NegotiatorScheduler::flush_delayed_messages() {
+  auto flush = [this](auto& buffer, auto& inbox) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer[i].due <= epoch_) {
+        inbox.push(buffer[i].owner, buffer[i].msg);
+      } else {
+        buffer[keep++] = buffer[i];
+      }
+    }
+    buffer.resize(keep);
+  };
+  flush(delayed_requests_, inbox_requests_);
+  flush(delayed_accepts_, inbox_accepts_);
+}
+
 void NegotiatorScheduler::begin_epoch(std::int64_t epoch, Nanos now,
                                       const DemandView& demand,
                                       const FaultPlane& faults) {
@@ -67,6 +145,10 @@ void NegotiatorScheduler::begin_epoch(std::int64_t epoch, Nanos now,
   out_pairs_.clear();
   epoch_grants_ = 0;
   epoch_accepts_ = 0;
+
+  // Delayed control messages land alongside last epoch's on-time arrivals,
+  // before any of them are consumed. No-op without a lossy channel.
+  if (control_ != nullptr) flush_delayed_messages();
 
   compute_accepts(demand, faults);     // grants of e-1 -> matches of e
   consume_accept_inbox(demand);        // stateful reconciliation

@@ -39,6 +39,7 @@
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "core/control_channel.h"
 #include "core/demand_view.h"
 #include "core/fault_detector.h"
 #include "core/inbox.h"
@@ -63,8 +64,15 @@ class NegotiatorScheduler {
 
   /// Predefined-phase exchange for pair (src -> dst). When `ok` is false
   /// (link failure) the queued messages are lost. Inline: the fabric calls
-  /// this for every predefined-phase slot connection.
+  /// this for every predefined-phase slot connection. With a lossy control
+  /// channel attached, every message instead runs the classify() gauntlet
+  /// (drop / delay / duplicate) in deliver_pair_lossy; the channel-free
+  /// path below is byte-identical to the historical exchange.
   void deliver_pair(TorId src, TorId dst, bool ok) {
+    if (control_ != nullptr) {
+      deliver_pair_lossy(src, dst, ok);
+      return;
+    }
     const std::size_t index =
         static_cast<std::size_t>(src) * topo_.num_tors() + dst;
     if (out_stamp_[index] != epoch_) return;
@@ -83,6 +91,12 @@ class NegotiatorScheduler {
       inbox_accepts_.push(dst, entry.accept);
     }
   }
+
+  /// Attaches the lossy control channel (core/control_channel.h); the
+  /// fabric owns it and calls ControlChannel::begin_epoch each epoch
+  /// before the scheduler's begin_epoch. Null (default) keeps the
+  /// exchange loss-free and draw-free.
+  void set_control_channel(ControlChannel* channel) { control_ = channel; }
 
   /// Matching for this epoch's scheduled phase.
   const std::vector<Match>& matches() const { return matches_; }
@@ -139,6 +153,23 @@ class NegotiatorScheduler {
 
   void clear_inboxes();
 
+  /// Lossy-exchange slow path behind deliver_pair: per-message classify()
+  /// with the fates applied — dropped messages vanish, delayed ones park
+  /// in the delayed_* buffers (flushed into the inboxes at the top of
+  /// begin_epoch once due), duplicated requests/grants push twice
+  /// (duplicate accepts are counted by the channel but collapse at the
+  /// receiver, which is idempotent).
+  void deliver_pair_lossy(TorId src, TorId dst, bool ok);
+  /// Moves due delayed messages into the inboxes, preserving insertion
+  /// order per class. Called at the top of begin_epoch (before
+  /// compute_accepts) so a message delayed k epochs is consumed exactly
+  /// k epochs after its on-time siblings.
+  void flush_delayed_messages();
+
+  void deliver_request_lossy(TorId dst, const RequestMsg& msg);
+  void deliver_grant_lossy(TorId dst, const GrantMsg& msg);
+  void deliver_accept_lossy(TorId dst, const AcceptMsg& msg);
+
   const NetworkConfig& config_;
   const FlatTopology& topo_;
   MatchingEngine matching_;
@@ -159,6 +190,27 @@ class NegotiatorScheduler {
   InboxArena<RequestMsg> inbox_requests_;
   InboxArena<GrantMsg> inbox_grants_;
   InboxArena<AcceptMsg> inbox_accepts_;
+
+  /// Lossy control channel (null = loss-free, the default). Owned by the
+  /// fabric; variants consult it at their own exchange points too (the
+  /// iterative scheduler's in-epoch staging).
+  ControlChannel* control_{nullptr};
+
+  /// Messages classified as delayed, waiting for their due epoch. A
+  /// message sent during epoch e's predefined phase is normally consumed
+  /// at begin_epoch(e + 1); delayed by k it carries due = e + 1 + k.
+  template <typename T>
+  struct Delayed {
+    std::int64_t due;
+    TorId owner;
+    T msg;
+  };
+  // Only requests and accepts can usefully arrive late: demand is
+  // persistent (§3.5) so a stale request is just a fresh one, and a stale
+  // accept only feeds the stateful variant's reconciliation. Delayed
+  // grants are discarded on classification — see deliver_grant_lossy.
+  std::vector<Delayed<RequestMsg>> delayed_requests_;
+  std::vector<Delayed<AcceptMsg>> delayed_accepts_;
 };
 
 /// Builds the scheduler variant requested by `config.scheduler`.

@@ -41,9 +41,20 @@ void IterativeScheduler::stage_request(Process& p, int round,
       if (round > 0 && !pair_has_free_tx(p, s, d)) continue;
       RequestMsg r;
       r.src = s;
+      bool duplicate = false;
+      if (control_ != nullptr) {
+        // The iterative exchange is staged inside one epoch, so a delayed
+        // message misses its round entirely — the next epoch's fresh
+        // process re-requests, which *is* the delayed retransmission.
+        const ControlChannel::Fate fate =
+            control_->classify(ControlClass::kRequest);
+        if (!fate.deliver || fate.delay_epochs > 0) continue;
+        duplicate = fate.duplicate;
+      }
       auto& inbox = p.requests_by_dst[static_cast<std::size_t>(d)];
       if (inbox.empty()) p.request_dsts.push_back(d);
       inbox.push_back(r);
+      if (duplicate) inbox.push_back(r);
     }
   }
   std::sort(p.request_dsts.begin(), p.request_dsts.end());
@@ -68,9 +79,21 @@ void IterativeScheduler::stage_grant(Process& p, const FaultPlane& faults) {
         matching_.grant(d, requests, rx_eligible, epoch_capacity_bytes());
     epoch_grants_ += result.grants.size();
     for (auto& [src, g] : result.grants) {
+      bool duplicate = false;
+      if (control_ != nullptr) {
+        // Same in-epoch semantics as stage_request: a delayed grant misses
+        // its round. Accepts in stage_accept are computed locally at the
+        // source (the grant's receiver), so no accept message crosses the
+        // fabric here and the accept class sees no draws.
+        const ControlChannel::Fate fate =
+            control_->classify(ControlClass::kGrant);
+        if (!fate.deliver || fate.delay_epochs > 0) continue;
+        duplicate = fate.duplicate;
+      }
       auto& inbox = p.grants_by_src[static_cast<std::size_t>(src)];
       if (inbox.empty()) p.grant_srcs.push_back(src);
       inbox.push_back(g);
+      if (duplicate) inbox.push_back(g);
     }
   }
   std::sort(p.grant_srcs.begin(), p.grant_srcs.end());

@@ -57,6 +57,19 @@ FaultScenario& FaultScenario::host_churn(const ChurnSpec& spec) {
   return *this;
 }
 
+FaultScenario& FaultScenario::control_brownout(
+    const ControlBrownoutSpec& spec) {
+  NEG_ASSERT(spec.windows >= 1, "brownout needs at least one window");
+  NEG_ASSERT(spec.first_at >= 0 && spec.duration_ns >= 1 &&
+                 spec.start_jitter >= 0 &&
+                 (spec.windows == 1 || spec.interval >= 1),
+             "brownout timing out of range");
+  NEG_ASSERT(spec.drop >= 0.0 && spec.drop <= 1.0,
+             "brownout drop out of range");
+  specs_.emplace_back(spec);
+  return *this;
+}
+
 namespace {
 
 struct DirectedLink {
@@ -195,6 +208,17 @@ class Expander {
         }
       }
       timeline_.churn.push_back(ChurnWindow{host, leave, rejoin, s.mode});
+    }
+  }
+
+  void operator()(const ControlBrownoutSpec& s) {
+    for (int k = 0; k < s.windows; ++k) {
+      const Nanos start =
+          s.first_at + k * s.interval + jitter(rng_, s.start_jitter);
+      const Nanos end = start + s.duration_ns;
+      fabric_.schedule_control_brownout(start, end, s.drop);
+      timeline_.brownouts.push_back(BrownoutWindow{start, end, s.drop});
+      timeline_.last_transition = std::max(timeline_.last_transition, end);
     }
   }
 

@@ -99,6 +99,23 @@ struct ChurnSpec {
   Nanos downtime_ns{100 * kMicro};
 };
 
+/// Control-plane brownout: `windows` windows during which the lossy
+/// control channel (core/control_channel.h) raises every message class's
+/// drop probability to at least `drop`. Window k starts at
+/// first_at + k·interval + jitter in [0, start_jitter] and lasts
+/// duration_ns. Installs via FabricSim::schedule_control_brownout — a
+/// no-op on fabrics without a channel (the oblivious baseline, or
+/// control_fault disabled) so brownouts compose freely with the link
+/// specs above, e.g. correlated with a ToR-group storm's bursts.
+struct ControlBrownoutSpec {
+  int windows{1};
+  Nanos first_at{0};
+  Nanos interval{0};        ///< start-to-start spacing of windows
+  Nanos duration_ns{50 * kMicro};
+  Nanos start_jitter{0};    ///< start jitter in [0, start_jitter]
+  double drop{0.9};         ///< absolute drop floor while active
+};
+
 /// One expanded link transition, in the exact order it was scheduled.
 struct ScenarioEvent {
   Nanos when{0};
@@ -116,13 +133,22 @@ struct ChurnWindow {
   ChurnSpec::Mode mode{ChurnSpec::Mode::kRequeue};
 };
 
+/// One expanded control-plane brownout window.
+struct BrownoutWindow {
+  Nanos start{0};
+  Nanos end{0};
+  double drop{0.0};
+};
+
 /// What install() scheduled: the full link-event list in schedule order,
-/// the churn windows for workload rewriting, and the time of the last
-/// transition (run past this and the fabric's links are all up again,
-/// unless a uniform burst asked for repair_at == kNeverNs).
+/// the churn windows for workload rewriting, the control brownout windows,
+/// and the time of the last transition (run past this and the fabric's
+/// links are all up — and its control plane healthy — again, unless a
+/// uniform burst asked for repair_at == kNeverNs).
 struct ScenarioTimeline {
   std::vector<ScenarioEvent> link_events;
   std::vector<ChurnWindow> churn;
+  std::vector<BrownoutWindow> brownouts;
   Nanos last_transition{0};
   bool repairs_everything{true};  ///< false iff some fail has no repair
 
@@ -140,6 +166,7 @@ class FaultScenario {
   FaultScenario& storm(const StormSpec& spec);
   FaultScenario& flapping(const FlapSpec& spec);
   FaultScenario& host_churn(const ChurnSpec& spec);
+  FaultScenario& control_brownout(const ControlBrownoutSpec& spec);
 
   bool empty() const { return specs_.empty(); }
   std::size_t spec_count() const { return specs_.size(); }
@@ -158,7 +185,8 @@ class FaultScenario {
                             const ScenarioTimeline& timeline);
 
  private:
-  using Spec = std::variant<UniformBurstSpec, StormSpec, FlapSpec, ChurnSpec>;
+  using Spec = std::variant<UniformBurstSpec, StormSpec, FlapSpec, ChurnSpec,
+                            ControlBrownoutSpec>;
   std::vector<Spec> specs_;
 };
 

@@ -101,6 +101,28 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
   scheduler_ = make_negotiator_scheduler(config_, *topo_, rng.fork());
   sim_.set_sink(this);
 
+  // Lossy control plane: the channel's stream derives from the run seed
+  // with a fixed salt, NOT from the fork chain above — forking would
+  // advance `rng` and shift the scheduler's stream, breaking every
+  // loss-free golden. Disabled -> never constructed -> zero draws.
+  if (config_.control_fault.enabled) {
+    control_ = std::make_unique<ControlChannel>(
+        config_.control_fault, Rng(config_.seed ^ kControlChannelSeedSalt));
+    scheduler_->set_control_channel(control_.get());
+    if (config_.control_fault.fallback) {
+      fb_tx_stamp_.assign(static_cast<std::size_t>(config_.num_tors) *
+                              config_.ports_per_tor,
+                          -1);
+      fb_rx_stamp_.assign(fb_tx_stamp_.size(), -1);
+      fb_starved_.assign(static_cast<std::size_t>(config_.num_tors), 0);
+    }
+  }
+  bool validate = config_.validate_matching;
+#ifndef NDEBUG
+  validate = true;  // invariants always on in debug/sanitizer builds
+#endif
+  if (validate) validator_ = std::make_unique<MatchingValidator>(*topo_);
+
   // rx ports are destination-independent in both topologies (parallel:
   // plane-preserving rx == tx; thin-clos: rx pinned by the source's
   // block), so resolve them through the virtual interface once instead of
@@ -212,6 +234,19 @@ void NegotiatorFabric::schedule_link_event(Nanos when, TorId tor, PortId port,
                                      LinkToggleEvent{tor, port, dir, fail});
 }
 
+void NegotiatorFabric::schedule_control_brownout(Nanos start, Nanos end,
+                                                 double drop_floor) {
+  // Tolerated without a channel (a loss-free fabric simply has no control
+  // plane to brown out) so scenarios with brownout specs install cleanly
+  // on any fabric, mirroring the base-class default.
+  if (control_) control_->add_brownout(start, end, drop_floor);
+}
+
+void NegotiatorFabric::set_resilience(ResilienceRecorder* recorder) {
+  FabricSim::set_resilience(recorder);
+  if (control_) control_->set_recorder(recorder);
+}
+
 void NegotiatorFabric::flush_deliveries(Nanos arrival) {
   if (delivery_build_.empty()) return;
   const std::size_t n = delivery_build_.size();
@@ -250,13 +285,22 @@ void NegotiatorFabric::run_epoch() {
           host_plane_->rx_paused(t, sim_.now());
     }
   }
+  if (control_) control_->begin_epoch(sim_.now());
   scheduler_->begin_epoch(epoch_, sim_.now(), *this, faults_);
+  if (validator_) {
+    NEG_ASSERT(validator_->validate(scheduler_->matches(), epoch_),
+               validator_->error().c_str());
+  }
 
   // Match ratio (Fig. 14): the accepts of epoch e answer the grants issued
   // in epoch e-1.
   if (prev_epoch_grants_ > 0) {
     ratio_series_.push_back(static_cast<double>(scheduler_->epoch_accepts()) /
                             static_cast<double>(prev_epoch_grants_));
+  }
+  if (control_ && resilience_) {
+    resilience_->on_control_match(prev_epoch_grants_,
+                                  scheduler_->epoch_accepts());
   }
   prev_epoch_grants_ = scheduler_->epoch_grants();
 
@@ -412,6 +456,90 @@ void NegotiatorFabric::run_predefined_phase() {
   in_predefined_phase_ = false;
 }
 
+void NegotiatorFabric::prepare_fallback_epoch() {
+  const int ports = config_.ports_per_tor;
+  for (const ActiveMatch& a : sched_matches_) {
+    fb_tx_stamp_[static_cast<std::size_t>(a.m.src) * ports + a.m.tx_port] =
+        epoch_;
+    fb_rx_stamp_[static_cast<std::size_t>(a.m.dst) * ports + a.m.rx_port] =
+        epoch_;
+  }
+  // Candidate sources: active (pending direct data) but matched on no tx
+  // port for kFallbackStarvationEpochs consecutive epochs. A one-epoch gap
+  // is normal stateless-scheduling slack — rescuing it would steal the
+  // head-of-line bytes the next epoch's grant is about to carry and waste
+  // that grant on a drained queue. Persistent starvation is the control-
+  // loss signature the fallback exists for. Ascending, so the per-slot
+  // spread order is deterministic.
+  fb_sources_.clear();
+  for (TorId s = 0; s < config_.num_tors; ++s) {
+    bool matched = false;
+    for (PortId p = 0; p < ports; ++p) {
+      if (fb_tx_stamp_[static_cast<std::size_t>(s) * ports + p] == epoch_) {
+        matched = true;
+        break;
+      }
+    }
+    auto& starved = fb_starved_[static_cast<std::size_t>(s)];
+    if (!matched && active_sources_.contains(s)) {
+      ++starved;
+    } else {
+      starved = 0;
+    }
+    if (starved >= kFallbackStarvationEpochs) fb_sources_.push_back(s);
+  }
+}
+
+void NegotiatorFabric::run_fallback_slot() {
+  const Bytes payload = config_.scheduled_payload_bytes();
+  const int ports = config_.ports_per_tor;
+  // The rotor rule for a fixed (slot, rotation) is a port-to-port
+  // matching, so fallback senders never collide with each other; the
+  // epoch stamps exclude the ports real matches booked.
+  const int slot =
+      static_cast<int>(sched_slot_counter_ % schedule_.slots());
+  const bool healthy = links_.all_up();
+  bool sent = false;
+  for (const TorId s : fb_sources_) {
+    TorSwitch& tor = tors_[static_cast<std::size_t>(s)];
+    if (tor.active_destinations().empty()) continue;  // drained mid-phase
+    for (PortId p = 0; p < ports; ++p) {
+      if (fb_tx_stamp_[static_cast<std::size_t>(s) * ports + p] == epoch_) {
+        continue;
+      }
+      const TorId d = schedule_.dst_of(s, p, slot, predef_rotation_);
+      if (d == kInvalidTor) continue;
+      const PortId rx =
+          rx_port_table_[static_cast<std::size_t>(s) * ports + p];
+      if (rx == kInvalidPort) continue;
+      if (fb_rx_stamp_[static_cast<std::size_t>(d) * ports + rx] == epoch_) {
+        continue;
+      }
+      if (!tor.active_destinations().contains(d)) continue;
+      if (host_plane_ && pause_advertised_[static_cast<std::size_t>(d)]) {
+        continue;  // §3.6.5: withhold data towards a paused receiver
+      }
+      if (!healthy &&
+          !(links_.up_raw(links_.raw_index(s, p, LinkDirection::kEgress)) &&
+            links_.up_raw(
+                links_.raw_index(d, rx, LinkDirection::kIngress)))) {
+        continue;
+      }
+      auto pkt = tor.dequeue_packet(d, payload);
+      NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
+      sync_source_activity(s);
+      stage_delivery(static_cast<int>(pkt->flow), d, pkt->bytes);
+      fallback_bytes_ += pkt->bytes;
+      if (resilience_) resilience_->on_fallback_delivery(pkt->bytes);
+      sent = true;
+    }
+  }
+  if (sent) {
+    ++degraded_slots_;
+    if (resilience_) resilience_->on_degraded_slot();
+  }
+}
+
 void NegotiatorFabric::run_scheduled_phase() {
   const Bytes payload = config_.scheduled_payload_bytes();
   const Nanos prop = config_.propagation_delay_ns;
@@ -440,6 +568,10 @@ void NegotiatorFabric::run_scheduled_phase() {
   // reactivation hook would miss them.
   const bool may_drop = !relay_enabled_;
   in_scheduled_phase_ = true;
+
+  const bool fallback =
+      control_ != nullptr && config_.control_fault.fallback;
+  if (fallback) prepare_fallback_epoch();
 
   for (int slot = 0; slot < timing_.scheduled_slots(); ++slot) {
     sim_.advance_to(timing_.scheduled_slot_start(epoch_, slot));
@@ -519,6 +651,12 @@ void NegotiatorFabric::run_scheduled_phase() {
       live_matches_[keep++] = index;
     }
     live_matches_.resize(keep);
+    // Graceful degradation: unmatched sources spread via the rotor rule
+    // after the matched traffic of the slot, sharing its delivery span.
+    if (fallback) {
+      run_fallback_slot();
+      ++sched_slot_counter_;
+    }
     // Close the slot: deliveries flush first (the goodput meter books
     // delivered bytes before relay receptions, matching the per-packet
     // order the span replaces), then one train event per intermediate.

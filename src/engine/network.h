@@ -10,9 +10,11 @@
 
 #include "common/config.h"
 #include "common/types.h"
+#include "core/control_channel.h"
 #include "core/demand_view.h"
 #include "core/epoch.h"
 #include "core/fault_detector.h"
+#include "core/matching_validator.h"
 #include "core/negotiator_scheduler.h"
 #include "sim/simulation.h"
 #include "stats/fct_recorder.h"
@@ -110,6 +112,14 @@ class FabricSim {
   virtual void schedule_link_event(Nanos when, TorId tor, PortId port,
                                    LinkDirection dir, bool fail) = 0;
 
+  /// Schedules a control-plane brownout window [start, end) with an
+  /// absolute message-drop floor (engine/fault_scenario.h,
+  /// ControlBrownoutSpec). Default no-op: fabrics without a lossy control
+  /// channel — the oblivious baseline, or a negotiator fabric with
+  /// control_fault disabled — tolerate brownout scenarios silently.
+  virtual void schedule_control_brownout(Nanos /*start*/, Nanos /*end*/,
+                                         double /*drop_floor*/) {}
+
   /// Ports currently excluded by the fault-detection plane (counted per
   /// direction; 0 for fabrics without detection, e.g. the oblivious
   /// baseline, and for an idle fault plane).
@@ -119,7 +129,9 @@ class FabricSim {
   /// stats/resilience_recorder.h). The recorder must outlive the fabric
   /// or be detached with set_resilience(nullptr). Null — the default —
   /// keeps every hot path byte-identical to a recorder-free build.
-  void set_resilience(ResilienceRecorder* recorder) {
+  /// Virtual so fabrics can propagate the sink to sub-components (the
+  /// negotiator fabric forwards it to its lossy control channel).
+  virtual void set_resilience(ResilienceRecorder* recorder) {
     resilience_ = recorder;
   }
   ResilienceRecorder* resilience() const { return resilience_; }
@@ -160,6 +172,9 @@ class NegotiatorFabric final : public FabricSim,
   }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
+  void schedule_control_brownout(Nanos start, Nanos end,
+                                 double drop_floor) override;
+  void set_resilience(ResilienceRecorder* recorder) override;
   int excluded_ports() const override { return faults_.excluded_count(); }
 
   // DemandView:
@@ -191,6 +206,13 @@ class NegotiatorFabric final : public FabricSim,
   std::int64_t match_slots_used() const { return match_slots_used_; }
   std::int64_t piggyback_packets() const { return piggyback_packets_; }
 
+  /// Lossy control channel (null when control_fault is disabled).
+  const ControlChannel* control_channel() const { return control_.get(); }
+  /// Scheduled slots in which the oblivious fallback delivered data, and
+  /// the bytes it moved (0 unless control_fault.fallback).
+  std::int64_t degraded_slots() const { return degraded_slots_; }
+  Bytes fallback_bytes() const { return fallback_bytes_; }
+
  private:
   // EventSink: typed events scheduled on the simulation clock.
   void on_flow_arrival(const FlowArrivalEvent& e, Nanos now) override;
@@ -202,6 +224,18 @@ class NegotiatorFabric final : public FabricSim,
   void run_epoch();
   void run_predefined_phase();
   void run_scheduled_phase();
+
+  /// Graceful degradation under control-plane loss (config-gated by
+  /// control_fault.fallback): sources whose negotiation yielded no match
+  /// this epoch spread one payload per free tx port per scheduled slot
+  /// using the predefined (rotor) round-robin rule — direct hits only, on
+  /// port pairs not booked by any real match and with both links up. The
+  /// global scheduled-slot counter cycles the rule so an unmatched source
+  /// reaches every destination over consecutive slots.
+  void run_fallback_slot();
+  /// Epoch setup for the fallback: books matched tx/rx ports and snapshots
+  /// the unmatched-but-active source list (ascending, deterministic).
+  void prepare_fallback_epoch();
 
   /// Parks one final-destination delivery on the current slot's span. The
   /// dequeue already happened (queue state must stay live for same-slot
@@ -357,6 +391,29 @@ class NegotiatorFabric final : public FabricSim,
   std::vector<DeliveryRecord> delivery_build_;
   std::uint64_t deliveries_{0};
   std::uint64_t delivery_dispatches_{0};
+
+  // --- Lossy control plane (core/control_channel.h) ---
+  //
+  // Owned here, consulted by the scheduler at its exchange points. Absent
+  // (the default) every path above is byte-identical to a channel-free
+  // build — the goldens pin this.
+  std::unique_ptr<ControlChannel> control_;
+  /// Per-epoch matching invariant checks (core/matching_validator.h);
+  /// created when config.validate_matching is set, and always in
+  /// !NDEBUG builds.
+  std::unique_ptr<MatchingValidator> validator_;
+
+  // Fallback state (empty unless control_fault.fallback):
+  /// Epochs a source must stay active-but-unmatched before the fallback
+  /// engages for it (see prepare_fallback_epoch).
+  static constexpr int kFallbackStarvationEpochs = 2;
+  std::vector<std::int64_t> fb_tx_stamp_;  // [src*P+tx] -> booked epoch
+  std::vector<std::int64_t> fb_rx_stamp_;  // [dst*P+rx] -> booked epoch
+  std::vector<int> fb_starved_;            // consecutive unmatched epochs
+  std::vector<TorId> fb_sources_;          // persistently starved sources
+  std::int64_t sched_slot_counter_{0};     // global, cycles the rotor rule
+  std::int64_t degraded_slots_{0};
+  Bytes fallback_bytes_{0};
 };
 
 /// Builds the fabric matching `config.scheduler` (NegotiaToR family or the

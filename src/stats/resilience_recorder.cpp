@@ -59,14 +59,18 @@ void ResilienceRecorder::on_include(Nanos now, TorId tor, PortId port,
 }
 
 std::string ResilienceRecorder::json() const {
-  char buf[640];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"failures\": %lld, \"repairs\": %lld, \"exclusions\": %lld, "
       "\"inclusions\": %lld, \"exclusion_churn\": %lld, "
       "\"detection_ns\": {\"count\": %lld, \"mean\": %.1f, \"max\": %lld}, "
       "\"recovery_ns\": {\"count\": %lld, \"mean\": %.1f, \"max\": %lld}, "
-      "\"blackholed_bytes\": %lld, \"degraded_delivered_bytes\": %lld}",
+      "\"blackholed_bytes\": %lld, \"degraded_delivered_bytes\": %lld, "
+      "\"control_dropped\": %lld, \"control_delayed\": %lld, "
+      "\"control_duplicated\": %lld, \"degraded_slots\": %lld, "
+      "\"fallback_bytes\": %lld, \"control_grants\": %lld, "
+      "\"control_accepts\": %lld, \"control_match_ratio\": %.4f}",
       static_cast<long long>(failures_), static_cast<long long>(repairs_),
       static_cast<long long>(exclusions_),
       static_cast<long long>(inclusions_),
@@ -76,7 +80,14 @@ std::string ResilienceRecorder::json() const {
       static_cast<long long>(recovery_.count), recovery_.mean(),
       static_cast<long long>(recovery_.max),
       static_cast<long long>(blackholed_bytes_),
-      static_cast<long long>(degraded_delivered_bytes_));
+      static_cast<long long>(degraded_delivered_bytes_),
+      static_cast<long long>(control_dropped_),
+      static_cast<long long>(control_delayed_),
+      static_cast<long long>(control_duplicated_),
+      static_cast<long long>(degraded_slots_),
+      static_cast<long long>(fallback_bytes_),
+      static_cast<long long>(control_grants_),
+      static_cast<long long>(control_accepts_), control_match_ratio());
   return std::string(buf);
 }
 

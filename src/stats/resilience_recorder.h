@@ -60,6 +60,24 @@ class ResilienceRecorder final : public FaultPlane::Listener {
     degraded_delivered_bytes_ += bytes;
   }
 
+  // Control-plane fault hooks (core/control_channel.h + the fallback path
+  // in engine/network.cpp). All incremental; zero-cost when the lossy
+  // channel is absent because nothing calls them.
+  void on_control_dropped() { ++control_dropped_; }
+  void on_control_delayed() { ++control_delayed_; }
+  void on_control_duplicated() { ++control_duplicated_; }
+  /// A scheduled slot in which at least one unmatched source delivered via
+  /// the oblivious fallback.
+  void on_degraded_slot() { ++degraded_slots_; }
+  /// Bytes delivered through the fallback (rotor) path.
+  void on_fallback_delivery(Bytes bytes) { fallback_bytes_ += bytes; }
+  /// Per-epoch matching outcome under loss: `grants` issued in epoch e-1,
+  /// `accepts` that answered them in epoch e (Fig. 14 semantics).
+  void on_control_match(std::size_t grants, std::size_t accepts) {
+    control_grants_ += static_cast<std::int64_t>(grants);
+    control_accepts_ += static_cast<std::int64_t>(accepts);
+  }
+
   struct LatencyStats {
     std::int64_t count{0};
     Nanos sum{0};
@@ -80,6 +98,20 @@ class ResilienceRecorder final : public FaultPlane::Listener {
   const LatencyStats& recovery() const { return recovery_; }
   Bytes blackholed_bytes() const { return blackholed_bytes_; }
   Bytes degraded_delivered_bytes() const { return degraded_delivered_bytes_; }
+
+  std::int64_t control_dropped() const { return control_dropped_; }
+  std::int64_t control_delayed() const { return control_delayed_; }
+  std::int64_t control_duplicated() const { return control_duplicated_; }
+  std::int64_t degraded_slots() const { return degraded_slots_; }
+  Bytes fallback_bytes() const { return fallback_bytes_; }
+  std::int64_t control_grants() const { return control_grants_; }
+  std::int64_t control_accepts() const { return control_accepts_; }
+  /// Accepts / grants over the run under loss (0 when no grant was seen).
+  double control_match_ratio() const {
+    return control_grants_ > 0 ? static_cast<double>(control_accepts_) /
+                                     static_cast<double>(control_grants_)
+                               : 0.0;
+  }
 
   /// One-line JSON object with the full metrics schema (see README
   /// "Fault model" for field meanings); stable field order.
@@ -103,6 +135,13 @@ class ResilienceRecorder final : public FaultPlane::Listener {
   LatencyStats recovery_;
   Bytes blackholed_bytes_{0};
   Bytes degraded_delivered_bytes_{0};
+  std::int64_t control_dropped_{0};
+  std::int64_t control_delayed_{0};
+  std::int64_t control_duplicated_{0};
+  std::int64_t degraded_slots_{0};
+  Bytes fallback_bytes_{0};
+  std::int64_t control_grants_{0};
+  std::int64_t control_accepts_{0};
 };
 
 }  // namespace negotiator

@@ -12,9 +12,22 @@
 // A deterministic subset is run twice to pin fixed-seed reproducibility
 // under chaos timelines.
 //
+// A second sweep (NEG_LOSSY_CASES, default 24) runs the negotiator
+// scheduler variants under the seeded lossy control plane
+// (core/control_channel.h): randomized drop/delay/duplicate rates, the
+// per-slot oblivious fallback on half the cases, and — on half the cases —
+// a control brownout correlated with a ToR-group storm. Every lossy case
+// sets validate_matching, so the per-epoch MatchingValidator asserts the
+// no-double-booking invariants on every matching the lossy plane emits
+// (NEG_ASSERT aborts in release too). The same conservation/drain/
+// convergence invariants apply: loss strands bytes only while it starves
+// the matching — stateless re-requests mean the fabric still drains.
+//
 // NEG_CHAOS_SCENARIOS overrides the scenario count (default 108; the
 // nightly chaos job sweeps several hundred). NEG_CHAOS_JSON, when set,
-// writes an aggregate resilience-metrics JSON artifact.
+// writes an aggregate resilience-metrics JSON artifact after ALL sweeps
+// (a gtest Environment tear-down), so the control-plane counters from the
+// lossy sweep are part of the artifact.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -52,6 +65,37 @@ int scenario_count() {
   }
   return 108;  // 12 per scheduler kind by default
 }
+
+/// The lossy-control-plane sweep scales independently of the link-fault
+/// sweep: the nightly job raises it alongside NEG_CHAOS_SCENARIOS.
+int lossy_case_count() {
+  if (const char* env = std::getenv("NEG_LOSSY_CASES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 24;  // 4 per negotiator variant by default
+}
+
+/// Aggregate resilience metrics across every sweep in the binary; the
+/// NEG_CHAOS_JSON artifact is written from these after all tests ran.
+struct SweepTotals {
+  int scenarios{0};
+  int lossy_cases{0};
+  std::int64_t failures{0};
+  std::int64_t exclusion_churn{0};
+  Bytes blackholed{0};
+  Bytes injected{0};
+  std::int64_t detection_count{0};
+  double detection_sum{0};
+  std::int64_t control_dropped{0};
+  std::int64_t control_delayed{0};
+  std::int64_t control_duplicated{0};
+  std::int64_t degraded_slots{0};
+  Bytes fallback_bytes{0};
+  std::int64_t control_grants{0};
+  std::int64_t control_accepts{0};
+};
+SweepTotals g_totals;
 
 /// Deterministically derives one scenario's whole universe — config,
 /// workload, fault timeline — from its index.
@@ -134,6 +178,78 @@ ChaosCase build_case(int index) {
   return cc;
 }
 
+/// One lossy-control-plane case: a negotiator variant with the seeded
+/// message-loss model installed, randomized rates, fallback on half the
+/// cases, and (on half) a control brownout correlated with a ToR-group
+/// storm — the paper's "control degrades with the fabric" composition.
+ChaosCase build_lossy_case(int index) {
+  constexpr SchedulerKind kNegotiatorVariants[] = {
+      SchedulerKind::kNegotiator,
+      SchedulerKind::kNegotiatorIterative,
+      SchedulerKind::kNegotiatorInformativeSize,
+      SchedulerKind::kNegotiatorInformativeHol,
+      SchedulerKind::kNegotiatorStateful,
+      SchedulerKind::kNegotiatorSelectiveRelay,
+  };
+  ChaosCase cc;
+  Rng rng(0x1055'0000ull + static_cast<std::uint64_t>(index));
+  NetworkConfig& cfg = cc.cfg;
+  cfg.scheduler = kNegotiatorVariants[static_cast<std::size_t>(index) %
+                                      std::size(kNegotiatorVariants)];
+  cfg.topology = (cfg.scheduler == SchedulerKind::kNegotiatorSelectiveRelay ||
+                  rng.next_below(2) == 0)
+                     ? TopologyKind::kThinClos
+                     : TopologyKind::kParallel;
+  if (rng.next_below(3) == 0) {
+    cfg.num_tors = 16;
+    cfg.ports_per_tor = 8;
+  } else {
+    cfg.num_tors = 12;
+    cfg.ports_per_tor = 4;
+  }
+  cfg.seed = 0x10ee + static_cast<std::uint64_t>(index);
+  if (cfg.scheduler == SchedulerKind::kNegotiatorIterative) {
+    cfg.variant.iterations = 2;
+  }
+  cc.duration = 150'000 + 50'000 * rng.next_below(3);
+  cc.workload_seed = rng.next_u64();
+  cc.install_seed = rng.next_u64();
+
+  cfg.control_fault.enabled = true;
+  const double drop = 0.1 + 0.1 * static_cast<double>(rng.next_below(5));
+  cfg.control_fault.request_drop = drop;
+  cfg.control_fault.grant_drop = drop;
+  cfg.control_fault.accept_drop = drop;
+  cfg.control_fault.delay_prob = 0.1;
+  cfg.control_fault.max_delay_epochs = 1 + static_cast<int>(rng.next_below(3));
+  cfg.control_fault.duplicate_prob = 0.05;
+  cfg.control_fault.fallback = rng.next_below(2) == 0;
+  // Every lossy matching is validated per epoch (aborts on double-booking).
+  cfg.validate_matching = true;
+
+  // Half the cases correlate a control brownout with a ToR-group storm:
+  // the control plane degrades exactly while the data plane loses a zone.
+  if (rng.next_below(2) == 0) {
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 1;
+    s.first_burst_at = 30'000 + 10'000 * rng.next_below(3);
+    s.burst_window = 10'000;
+    s.outage_ns = 30'000 + 10'000 * rng.next_below(3);
+    s.repair_stagger = 10'000;
+    cc.scenario.storm(s);
+    ControlBrownoutSpec b;
+    b.windows = 1;
+    b.first_at = s.first_burst_at;
+    b.duration_ns = s.outage_ns;
+    b.start_jitter = 5'000;
+    b.drop = 0.9;
+    cc.scenario.control_brownout(b);
+  }
+  return cc;
+}
+
 struct ChaosOutcome {
   std::size_t flows{0};
   std::size_t completed{0};
@@ -201,50 +317,112 @@ ChaosOutcome run_case(const ChaosCase& cc, int index) {
   return out;
 }
 
+/// Folds one case's recorder into the binary-wide aggregate the
+/// NEG_CHAOS_JSON artifact is written from.
+void accumulate(const ChaosOutcome& out) {
+  g_totals.failures += out.rec.failures();
+  g_totals.exclusion_churn += out.rec.exclusion_churn();
+  g_totals.blackholed += out.rec.blackholed_bytes();
+  g_totals.injected += out.injected;
+  g_totals.detection_count += out.rec.detection().count;
+  g_totals.detection_sum += static_cast<double>(out.rec.detection().sum);
+  g_totals.control_dropped += out.rec.control_dropped();
+  g_totals.control_delayed += out.rec.control_delayed();
+  g_totals.control_duplicated += out.rec.control_duplicated();
+  g_totals.degraded_slots += out.rec.degraded_slots();
+  g_totals.fallback_bytes += out.rec.fallback_bytes();
+  g_totals.control_grants += out.rec.control_grants();
+  g_totals.control_accepts += out.rec.control_accepts();
+}
+
+/// Writes the aggregate artifact after every sweep has run, so the
+/// control-plane counters from the lossy sweep are included.
+class ChaosJsonEnvironment final : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("NEG_CHAOS_JSON");
+    if (path == nullptr) return;
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    const SweepTotals& t = g_totals;
+    std::fprintf(
+        f,
+        "{\n  \"scenarios\": %d,\n  \"lossy_cases\": %d,\n"
+        "  \"total_failures\": %lld,\n"
+        "  \"total_exclusion_churn\": %lld,\n"
+        "  \"total_blackholed_bytes\": %lld,\n"
+        "  \"total_injected_bytes\": %lld,\n"
+        "  \"detection_samples\": %lld,\n"
+        "  \"detection_mean_ns\": %.1f,\n"
+        "  \"total_control_dropped\": %lld,\n"
+        "  \"total_control_delayed\": %lld,\n"
+        "  \"total_control_duplicated\": %lld,\n"
+        "  \"total_degraded_slots\": %lld,\n"
+        "  \"total_fallback_bytes\": %lld,\n"
+        "  \"total_control_grants\": %lld,\n"
+        "  \"total_control_accepts\": %lld\n}\n",
+        t.scenarios, t.lossy_cases, static_cast<long long>(t.failures),
+        static_cast<long long>(t.exclusion_churn),
+        static_cast<long long>(t.blackholed),
+        static_cast<long long>(t.injected),
+        static_cast<long long>(t.detection_count),
+        t.detection_count > 0
+            ? t.detection_sum / static_cast<double>(t.detection_count)
+            : 0.0,
+        static_cast<long long>(t.control_dropped),
+        static_cast<long long>(t.control_delayed),
+        static_cast<long long>(t.control_duplicated),
+        static_cast<long long>(t.degraded_slots),
+        static_cast<long long>(t.fallback_bytes),
+        static_cast<long long>(t.control_grants),
+        static_cast<long long>(t.control_accepts));
+    std::fclose(f);
+  }
+};
+const auto* const kJsonEnv =
+    ::testing::AddGlobalTestEnvironment(new ChaosJsonEnvironment);
+
 TEST(ChaosScenarios, InvariantsHoldAcrossSeededScenarioSweep) {
   const int count = scenario_count();
-  std::int64_t total_exclusion_churn = 0;
-  std::int64_t total_failures = 0;
-  Bytes total_blackholed = 0;
-  Bytes total_injected = 0;
-  std::int64_t detection_count = 0;
-  double detection_sum = 0;
   for (int i = 0; i < count; ++i) {
     const ChaosCase cc = build_case(i);
     const ChaosOutcome out = run_case(cc, i);
-    total_failures += out.rec.failures();
-    total_exclusion_churn += out.rec.exclusion_churn();
-    total_blackholed += out.rec.blackholed_bytes();
-    total_injected += out.injected;
-    detection_count += out.rec.detection().count;
-    detection_sum += static_cast<double>(out.rec.detection().sum);
+    accumulate(out);
     if (::testing::Test::HasFailure()) {
       FAIL() << "stopping the sweep at case " << i << " ("
              << cc.cfg.summary() << ")";
     }
   }
-  EXPECT_GT(total_failures, 0) << "the sweep never injected a fault";
-  if (const char* path = std::getenv("NEG_CHAOS_JSON")) {
-    std::FILE* f = std::fopen(path, "w");
-    ASSERT_NE(f, nullptr) << "cannot write " << path;
-    std::fprintf(
-        f,
-        "{\n  \"scenarios\": %d,\n  \"total_failures\": %lld,\n"
-        "  \"total_exclusion_churn\": %lld,\n"
-        "  \"total_blackholed_bytes\": %lld,\n"
-        "  \"total_injected_bytes\": %lld,\n"
-        "  \"detection_samples\": %lld,\n"
-        "  \"detection_mean_ns\": %.1f\n}\n",
-        count, static_cast<long long>(total_failures),
-        static_cast<long long>(total_exclusion_churn),
-        static_cast<long long>(total_blackholed),
-        static_cast<long long>(total_injected),
-        static_cast<long long>(detection_count),
-        detection_count > 0 ? detection_sum /
-                                  static_cast<double>(detection_count)
-                            : 0.0);
-    std::fclose(f);
+  g_totals.scenarios = count;
+  EXPECT_GT(g_totals.failures, 0) << "the sweep never injected a fault";
+}
+
+TEST(ChaosScenarios, LossyControlPlaneSweepHoldsInvariants) {
+  // The same conservation/drain/convergence invariants as the link-fault
+  // sweep, now with the control plane itself lossy; the per-epoch
+  // MatchingValidator (validate_matching is set on every case) aborts the
+  // run on any tx/rx double-booking, so a green sweep certifies every
+  // matching the lossy plane emitted. Loss must strand traffic only
+  // transiently: stateless re-requests re-form the matching, so the
+  // fabric still drains after the horizon.
+  const int count = lossy_case_count();
+  std::int64_t dropped = 0;
+  std::int64_t fallback_cases = 0;
+  for (int i = 0; i < count; ++i) {
+    const ChaosCase cc = build_lossy_case(i);
+    const ChaosOutcome out = run_case(cc, i);
+    accumulate(out);
+    dropped += out.rec.control_dropped();
+    if (cc.cfg.control_fault.fallback) ++fallback_cases;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping the lossy sweep at case " << i << " ("
+             << cc.cfg.summary() << ")";
+    }
   }
+  g_totals.lossy_cases = count;
+  EXPECT_GT(dropped, 0) << "the lossy sweep never dropped a message";
+  EXPECT_GT(fallback_cases, 0)
+      << "the lossy sweep never exercised the oblivious fallback";
 }
 
 TEST(ChaosScenarios, SweepCoversEverySchedulerAndBothTopologies) {

@@ -46,6 +46,12 @@ struct Scenario {
   bool incast_burst{false};  // out-of-order arrivals (heap/bucket tier)
   int iterations{1};
   const char* chaos{nullptr};  // canned fault scenario (see canned_chaos)
+  // Lossy control plane (core/control_channel.h): drop probability applied
+  // to all three message classes, plus a fixed delay/duplication mix (see
+  // run_fingerprint). Zero leaves the channel unconstructed, so the 38
+  // legacy goldens above draw exactly the seed engine's RNG sequence.
+  double control_drop{0.0};
+  bool control_fallback{false};  // per-slot oblivious fallback on/off
 };
 
 constexpr Nanos kDuration = 400'000;  // 0.4 ms simulated
@@ -100,6 +106,26 @@ FaultScenario canned_chaos(const char* kind) {
     c.interval = 120'000;
     c.downtime_ns = 50'000;
     fs.host_churn(c);
+  } else if (k == "control-brownout") {
+    // A ToR-group storm with a control brownout covering the same window:
+    // the control plane browns out exactly while the zone is dark, the
+    // worst case for re-negotiation (§3.5).
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 1;
+    s.first_burst_at = 80'000;
+    s.burst_window = 10'000;
+    s.outage_ns = 60'000;
+    s.repair_stagger = 10'000;
+    ControlBrownoutSpec b;
+    b.windows = 2;
+    b.first_at = 80'000;
+    b.interval = 120'000;
+    b.duration_ns = 50'000;
+    b.start_jitter = 10'000;
+    b.drop = 0.8;
+    fs.storm(s).control_brownout(b);
   } else if (k == "mix") {
     StormSpec s;
     s.zone = StormSpec::Zone::kTorGroup;
@@ -152,6 +178,18 @@ std::uint64_t run_fingerprint(const Scenario& sc) {
   cfg.rotate_predefined_rule = sc.rotate;
   cfg.host_plane.enabled = sc.host_plane;
   cfg.variant.iterations = sc.iterations;
+  if (sc.control_drop > 0.0) {
+    cfg.control_fault.enabled = true;
+    cfg.control_fault.request_drop = sc.control_drop;
+    cfg.control_fault.grant_drop = sc.control_drop;
+    cfg.control_fault.accept_drop = sc.control_drop;
+    cfg.control_fault.delay_prob = 0.1;
+    cfg.control_fault.max_delay_epochs = 2;
+    cfg.control_fault.duplicate_prob = 0.05;
+    cfg.control_fault.fallback = sc.control_fallback;
+    // Pin the matching invariants on every lossy golden, in Release too.
+    cfg.validate_matching = true;
+  }
   if (sc.host_plane) {
     // Small buffers so the pause/resume watermarks actually trip.
     cfg.host_plane.rx_buffer_capacity = 64'000;
@@ -319,6 +357,27 @@ const Scenario kScenarios[] = {
     {"oblivious/thin-clos/mix", TopologyKind::kThinClos,
      SchedulerKind::kOblivious, 16, 8, 0.6, 50, false, false, true, true,
      false, 1, "mix"},
+    // Lossy control plane (core/control_channel.h): seeded drop/delay/dup
+    // on the REQUEST/GRANT/ACCEPT exchange, with and without the per-slot
+    // oblivious fallback, plus a brownout correlated with a zone storm.
+    {"negotiator/parallel/lossy", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 61, false, false, true, true,
+     false, 1, nullptr, 0.2},
+    {"negotiator/thin-clos/lossy", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 62, false, false, true, true,
+     false, 1, nullptr, 0.2},
+    {"negotiator/parallel/lossy-fallback", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 63, false, false, true, true,
+     false, 1, nullptr, 0.3, true},
+    {"informative-hol/thin-clos/lossy", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorInformativeHol, 16, 8, 0.6, 64, false, false,
+     true, true, false, 1, nullptr, 0.2},
+    {"selective-relay/thin-clos/lossy-fallback", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorSelectiveRelay, 16, 8, 0.9, 65, false, false,
+     true, true, false, 1, nullptr, 0.2, true},
+    {"negotiator/parallel/brownout-storm", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 66, false, false, true, true,
+     false, 1, "control-brownout", 0.1, true},
 };
 
 // Golden fingerprints captured from the seed engine (pre-sparse pipeline).
@@ -367,6 +426,12 @@ const Golden kGoldens[] = {
     {"oblivious/thin-clos/flap", 0x36c8c7a14caaac12ULL},
     {"oblivious/thin-clos/churn-abort", 0x1b4022ea527a1a7fULL},
     {"oblivious/thin-clos/mix", 0xaabca0dc108090aULL},
+    {"negotiator/parallel/lossy", 0x85d9b21067a4b048ULL},
+    {"negotiator/thin-clos/lossy", 0x48190e0eed3c6dcULL},
+    {"negotiator/parallel/lossy-fallback", 0xbfa2ff963c567363ULL},
+    {"informative-hol/thin-clos/lossy", 0xdad2310a0b4c5c50ULL},
+    {"selective-relay/thin-clos/lossy-fallback", 0x40d72c6d17078172ULL},
+    {"negotiator/parallel/brownout-storm", 0x910a2ba6b0f100c0ULL},
 };
 
 static_assert(std::size(kScenarios) == std::size(kGoldens),
