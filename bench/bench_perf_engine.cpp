@@ -31,6 +31,14 @@
 // fingerprint-identically to a run that never constructed the channel —
 // the disabled-path witness at bench scale.
 //
+// A data_loss section runs the fig9 systems with the seeded lossy data
+// plane installed (per-hop chunk drop + corruption at a fixed mix, without
+// and with the end-host ARQ) plus one loss-disabled reference row per
+// system. Each row carries a result fingerprint so check_perf.py gates the
+// data-fault path's bit-identity, and the reference row must fingerprint-
+// identically to the plain scaling row at the same N — the disabled-path
+// witness at bench scale, asserted in-process before the JSON is written.
+//
 // A third section records the *scaling* dimension: events/sec for every
 // fig9 system at N in {16, 64, 128, 256} — plus an oblivious-only tail at
 // N = 512 (the all-to-all VLB data plane is the densest per-slot walk, so
@@ -51,6 +59,7 @@
 //   NEG_PERF_STORM_TORS  N list for the storm section (default "16,64")
 //   NEG_PERF_CONTROL_TORS  N list for the control_loss section
 //                      (default "16")
+//   NEG_PERF_DATA_TORS  N list for the data_loss section (default "16")
 //   NEG_PERF_SWEEP_TORS  N for the sweep grid (default 64)
 //   NEG_PERF_THREADS   comma-separated thread counts for the sweep section
 //                      (default "1,2,<hardware concurrency>"; on a 1-core
@@ -154,6 +163,10 @@ std::vector<int> storm_tor_counts() {
 
 std::vector<int> control_tor_counts() {
   return parse_int_list("NEG_PERF_CONTROL_TORS", "16", 2);
+}
+
+std::vector<int> data_tor_counts() {
+  return parse_int_list("NEG_PERF_DATA_TORS", "16", 2);
 }
 
 /// Why the multi-thread sweep rows were skipped; empty when they ran.
@@ -463,10 +476,82 @@ ControlLossRun measure_control_loss(const char* name, TopologyKind topo,
   return out;
 }
 
+/// One system under seeded data-plane loss (core/data_channel.h), with or
+/// without the end-host ARQ (tor/host_transport.h): events/sec on the
+/// data-fault path, the damage and recovery counters, plus a result
+/// fingerprint. The lossless reference row never constructs the channel,
+/// so its fingerprint must match the plain scaling row bit-for-bit — the
+/// disabled-path witness at bench scale (asserted in main).
+struct DataLossRun {
+  PerfRun run;
+  std::string label;
+  std::uint64_t data_dropped_bytes;
+  std::uint64_t data_corrupted_bytes;
+  std::uint64_t retransmitted_bytes;
+  std::int64_t spurious_retx;
+  std::int64_t rto_fires;
+  std::int64_t max_backoff_reached;
+};
+
+DataLossRun measure_data_loss(const char* name, TopologyKind topo,
+                              SchedulerKind sched, int n, double load,
+                              Nanos duration, double drop, bool arq,
+                              bool lossless, const char* label) {
+  NetworkConfig cfg = paper_config(topo, sched);
+  cfg.num_tors = n;
+  if (!lossless) {
+    // The same per-hop drop + corruption mix the data-loss goldens pin, so
+    // a bench fingerprint change and a golden change always move together.
+    cfg.data_fault.enabled = true;
+    cfg.data_fault.first_hop_drop = drop;
+    cfg.data_fault.relay_drop = drop;
+    cfg.data_fault.second_hop_drop = drop;
+    cfg.data_fault.corrupt_prob = 0.01;
+    cfg.data_fault.arq = arq;
+  }
+  Runner runner(cfg);
+  ResilienceRecorder rec(cfg.num_tors, cfg.ports_per_tor);
+  runner.fabric().set_resilience(&rec);
+  WorkloadGenerator gen(SizeDistribution::hadoop(), cfg.num_tors,
+                        cfg.host_rate(), load, Rng(9));
+  const auto flows = gen.generate(0, duration);
+  runner.add_flows(flows);
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult r = runner.run(duration, duration / 2);
+  const auto t1 = std::chrono::steady_clock::now();
+  DataLossRun out;
+  out.run.name = name;
+  out.run.num_tors = n;
+  out.run.topology = to_string(topo);
+  out.run.scheduler = to_string(sched);
+  out.run.load = load;
+  out.run.sim_ns = duration;
+  out.run.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.run.events = runner.fabric().events_executed();
+  out.run.dispatches = runner.fabric().events_dispatched();
+  out.run.deliveries = runner.fabric().deliveries();
+  out.run.delivery_dispatches = runner.fabric().delivery_dispatches();
+  out.run.result_fingerprint = result_fingerprint(runner, r);
+  out.run.flows = flows.size();
+  out.run.completed = r.completed;
+  out.label = label;
+  out.data_dropped_bytes =
+      static_cast<std::uint64_t>(rec.data_dropped_bytes());
+  out.data_corrupted_bytes =
+      static_cast<std::uint64_t>(rec.data_corrupted_bytes());
+  out.retransmitted_bytes =
+      static_cast<std::uint64_t>(rec.retransmitted_bytes());
+  out.spurious_retx = rec.spurious_retx();
+  out.rto_fires = rec.rto_fires();
+  out.max_backoff_reached = rec.max_backoff_reached();
+  return out;
+}
+
 void write_json(const char* path, const std::vector<PerfRun>& runs,
                 const std::vector<PerfRun>& scaling,
                 const std::vector<StormRun>& storms,
                 const std::vector<ControlLossRun>& control,
+                const std::vector<DataLossRun>& data_loss,
                 const std::vector<SweepPerf>& sweeps, int sweep_tors,
                 bool deterministic, const std::string& skipped_reason) {
   std::FILE* f = std::fopen(path, "w");
@@ -584,6 +669,38 @@ void write_json(const char* path, const std::vector<PerfRun>& runs,
                  static_cast<unsigned long long>(c.control_dropped),
                  static_cast<unsigned long long>(r.result_fingerprint),
                  i + 1 < control.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Data loss: the lossy data plane with and without the end-host ARQ,
+  // fingerprint-gated per row like scaling/storm/control_loss. The
+  // lossless reference row's fingerprint equals the plain scaling row's
+  // (disabled ≡ never constructed, checked in main before this writes).
+  std::fprintf(f, "  \"data_loss\": [\n");
+  for (std::size_t i = 0; i < data_loss.size(); ++i) {
+    const DataLossRun& d = data_loss[i];
+    const PerfRun& r = d.run;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"num_tors\": %d, "
+                 "\"label\": \"%s\", \"sim_ns\": %lld, "
+                 "\"events\": %llu, \"wall_seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f, \"completed\": %zu, "
+                 "\"data_dropped_bytes\": %llu, "
+                 "\"data_corrupted_bytes\": %llu, "
+                 "\"retransmitted_bytes\": %llu, \"spurious_retx\": %lld, "
+                 "\"rto_fires\": %lld, \"max_backoff_reached\": %lld, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
+                 r.name.c_str(), r.num_tors, d.label.c_str(),
+                 static_cast<long long>(r.sim_ns),
+                 static_cast<unsigned long long>(r.events), r.wall_seconds,
+                 r.events_per_sec(), r.completed,
+                 static_cast<unsigned long long>(d.data_dropped_bytes),
+                 static_cast<unsigned long long>(d.data_corrupted_bytes),
+                 static_cast<unsigned long long>(d.retransmitted_bytes),
+                 static_cast<long long>(d.spurious_retx),
+                 static_cast<long long>(d.rto_fires),
+                 static_cast<long long>(d.max_backoff_reached),
+                 static_cast<unsigned long long>(r.result_fingerprint),
+                 i + 1 < data_loss.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   const double base_wall = sweeps.empty() ? 0.0 : sweeps.front().wall_seconds;
@@ -763,6 +880,60 @@ int main() {
   }
   control_table.print();
 
+  // --- Data-loss dimension: the lossy data plane, without and with ARQ. ---
+  print_header("Data loss: events/sec and recovery under a lossy data plane");
+  const struct {
+    double drop;
+    bool arq;
+    bool lossless;
+    const char* label;
+  } data_cfgs[] = {
+      {0.0, false, true, "lossless"},
+      {0.05, false, false, "drop 0.05"},
+      {0.05, true, false, "drop 0.05 arq"},
+  };
+  std::vector<DataLossRun> data_loss;
+  bool disabled_path_ok = true;
+  ConsoleTable data_table({"system", "N", "config", "events/s", "completed",
+                           "dropped MB", "corrupt MB", "retx MB",
+                           "rto fires", "spurious"});
+  for (const int n : data_tor_counts()) {
+    for (const auto& sys : systems) {
+      for (const auto& dc : data_cfgs) {
+        const DataLossRun d = measure_data_loss(
+            sys.name, sys.topo, sys.sched, n, load, duration, dc.drop,
+            dc.arq, dc.lossless, dc.label);
+        data_table.add_row(
+            {d.run.name, std::to_string(d.run.num_tors), d.label,
+             fmt(d.run.events_per_sec(), 0), std::to_string(d.run.completed),
+             fmt(static_cast<double>(d.data_dropped_bytes) / 1e6, 3),
+             fmt(static_cast<double>(d.data_corrupted_bytes) / 1e6, 3),
+             fmt(static_cast<double>(d.retransmitted_bytes) / 1e6, 3),
+             std::to_string(d.rto_fires), std::to_string(d.spurious_retx)});
+        if (dc.lossless) {
+          // Disabled-path witness: with the channel never constructed the
+          // run must be bit-identical to the plain scaling row.
+          for (const PerfRun& s : scaling) {
+            if (s.num_tors == n && s.name == sys.name &&
+                s.result_fingerprint != d.run.result_fingerprint) {
+              disabled_path_ok = false;
+              std::printf(
+                  "DISABLED-PATH MISMATCH: %s N=%d lossless %016llx != "
+                  "scaling %016llx\n",
+                  sys.name, n,
+                  static_cast<unsigned long long>(d.run.result_fingerprint),
+                  static_cast<unsigned long long>(s.result_fingerprint));
+            }
+          }
+        }
+        data_loss.push_back(d);
+      }
+    }
+  }
+  data_table.print();
+  std::printf("disabled-path witness (lossless rows == scaling rows): %s\n",
+              disabled_path_ok ? "PASS" : "FAIL");
+
   // --- Sweep dimension: the fig9 grid across worker-thread counts. ---
   const int sweep_tors = [] {
     const char* env = std::getenv("NEG_PERF_SWEEP_TORS");
@@ -808,8 +979,8 @@ int main() {
               deterministic ? "PASS" : "FAIL");
 
   if (const char* path = std::getenv("NEG_PERF_JSON")) {
-    write_json(path, runs, scaling, storms, control, sweeps, sweep_tors,
-               deterministic, skipped);
+    write_json(path, runs, scaling, storms, control, data_loss, sweeps,
+               sweep_tors, deterministic, skipped);
   }
-  return deterministic ? 0 : 1;
+  return deterministic && disabled_path_ok ? 0 : 1;
 }

@@ -22,7 +22,16 @@ Gating:
   - the fresh control_loss section (the seeded lossy control plane, with
     and without the per-slot oblivious fallback) must exist, be non-empty,
     and its row fingerprints must match the committed baseline — the lossy
-    rows are the control-fault path's bit-identity witness.
+    rows are the control-fault path's bit-identity witness;
+  - the fresh data_loss section (the seeded lossy data plane, without and
+    with the end-host ARQ, plus a lossless row that must fingerprint-match
+    the plain scaling row) must exist, be non-empty, and its row
+    fingerprints must match the committed baseline — the lossy-data rows
+    are the data-fault path's bit-identity witness;
+  - a readable committed baseline must carry every fingerprinted section
+    the fresh run produced. A missing baseline section means the committed
+    BENCH_perf.json predates the section and was never regenerated, so the
+    new fault path would ship with no bit-identity witness at all.
   Exit code 1 on any of these.
 
 Non-gating (::warning:: only — runner hardware varies, a human decides):
@@ -94,6 +103,15 @@ def check_section(fresh, baseline, section, missing_hint, mismatch_hint):
               f"bench_perf_engine did not record {missing_hint}")
         return True
     failed = False
+    if baseline and not baseline.get(section):
+        # An unreadable baseline ({}) already warned and skips comparison;
+        # a readable baseline that simply lacks this section is different:
+        # the committed BENCH_perf.json predates the section and was never
+        # regenerated, so the section would ship with no witness.
+        print(f"::error::committed baseline has no {section} section — "
+              "regenerate the committed BENCH_perf.json so the section's "
+              "fingerprints are pinned")
+        failed = True
     base_rows = {(r["name"], r["num_tors"], r.get("label")): r
                  for r in baseline.get(section, [])}
     compared = 0
@@ -215,6 +233,11 @@ def main():
                      "the lossy control plane",
                      "the lossy control plane (drop/delay/dup or the "
                      "oblivious fallback) changed behaviour"):
+        failed = True
+    if check_section(fresh, baseline, "data_loss",
+                     "the lossy data plane",
+                     "the lossy data plane (per-hop drop/corrupt or the "
+                     "end-host ARQ) changed behaviour"):
         failed = True
     check_scaling_shape(fresh, baseline)
 

@@ -109,6 +109,27 @@ void NetworkConfig::validate() const {
       fail("control-fault fallback needs a negotiator-family scheduler");
     }
   }
+  if (data_fault.enabled) {
+    auto bad_prob = [](double p) { return p < 0.0 || p > 1.0; };
+    if (bad_prob(data_fault.first_hop_drop) ||
+        bad_prob(data_fault.relay_drop) ||
+        bad_prob(data_fault.second_hop_drop) ||
+        bad_prob(data_fault.corrupt_prob)) {
+      fail("data-fault probabilities must be in [0, 1]");
+    }
+    if (data_fault.rto_epochs <= 0.0) {
+      fail("data-fault rto_epochs must be > 0");
+    }
+    if (data_fault.rto_backoff < 1.0) {
+      fail("data-fault rto_backoff must be >= 1");
+    }
+    if (data_fault.rto_cap_epochs < data_fault.rto_epochs) {
+      fail("data-fault rto_cap_epochs must be >= rto_epochs");
+    }
+    if (data_fault.max_retries < 1) {
+      fail("data-fault max_retries must be >= 1");
+    }
+  }
 }
 
 std::string NetworkConfig::summary() const {
@@ -124,6 +145,12 @@ std::string NetworkConfig::summary() const {
        << ", delay " << control_fault.delay_prob << ", dup "
        << control_fault.duplicate_prob
        << (control_fault.fallback ? ", fallback on)" : ")");
+  }
+  if (data_fault.enabled) {
+    os << ", lossy data plane (drop " << data_fault.first_hop_drop << "/"
+       << data_fault.relay_drop << "/" << data_fault.second_hop_drop
+       << ", corrupt " << data_fault.corrupt_prob
+       << (data_fault.arq ? ", arq on)" : ")");
   }
   return os.str();
 }

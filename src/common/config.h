@@ -132,6 +132,42 @@ struct ControlFaultConfig {
   bool operator==(const ControlFaultConfig&) const = default;
 };
 
+/// Lossy data plane (core/data_channel.h) and end-host selective-repeat
+/// ARQ (tor/host_transport.h). Like the control channel, the whole
+/// subsystem follows the disabled-≡-never-constructed contract: with
+/// `enabled == false` neither the channel nor the transport is built and
+/// every other draw in the run stays byte-identical.
+struct DataFaultConfig {
+  bool enabled{false};
+  /// Per-hop-class drop probability for one chunk transmission (each
+  /// physical transmission draws independently; retransmissions redraw).
+  double first_hop_drop{0.0};   // source ToR -> destination ToR direct
+  double relay_drop{0.0};       // source ToR -> intermediate (VLB leg 1)
+  double second_hop_drop{0.0};  // intermediate -> destination (VLB leg 2)
+  /// Probability a chunk that survives the drop draw arrives corrupted
+  /// and is discarded by the receiver's checksum (same fate as a drop,
+  /// counted separately). Applies to every hop class.
+  double corrupt_prob{0.0};
+
+  /// End-host selective-repeat ARQ. Without it, dropped bytes are
+  /// terminal and the affected flows never complete (measurement mode for
+  /// raw loss); with it, the transport retransmits until acked or
+  /// abandoned.
+  bool arq{false};
+  /// Base retransmission timeout, in epoch lengths (the fabric's natural
+  /// RTT scale: one epoch comfortably covers slot + 2x propagation).
+  double rto_epochs{4.0};
+  /// Multiplicative backoff applied on every RTO expiry without ack
+  /// progress; the effective RTO is capped at rto_cap_epochs.
+  double rto_backoff{2.0};
+  double rto_cap_epochs{64.0};
+  /// Consecutive RTO expiries without ack progress before the flow's
+  /// outstanding chunks are abandoned (terminal, like a non-ARQ drop).
+  int max_retries{16};
+
+  bool operator==(const DataFaultConfig&) const = default;
+};
+
 /// Sirius-style traffic-oblivious baseline knobs.
 struct ObliviousConfig {
   /// Total relay-buffer capacity at an intermediate ToR; senders stop
@@ -180,11 +216,14 @@ struct NetworkConfig {
   ObliviousConfig oblivious;
   HostPlaneConfig host_plane;
   ControlFaultConfig control_fault;
+  DataFaultConfig data_fault;
 
   /// Run the per-epoch MatchingValidator (core/matching_validator.h) on
   /// every matching the scheduler emits. Debug/sanitizer builds force this
   /// on; release builds opt in (the chaos harness and the lossy goldens
-  /// do). A violation aborts via NEG_ASSERT.
+  /// do). A violation aborts via NEG_ASSERT. The byte-conservation auditor
+  /// (engine/conservation_auditor.h) arms under the same flag whenever the
+  /// data channel is enabled.
   bool validate_matching{false};
 
   std::uint64_t seed{1};

@@ -42,4 +42,14 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+/// Derive a private stream for an optional subsystem from the owning
+/// fabric's seed and a per-subsystem salt tag. The result is a pure
+/// function of (seed, salt_tag) — unlike fork(), constructing it never
+/// advances the parent stream, so an optional subsystem that is disabled
+/// (and therefore never constructed) leaves every other draw in the run
+/// byte-identical. Used by core/control_channel and core/data_channel.
+inline Rng make_salted_stream(std::uint64_t seed, std::uint64_t salt_tag) {
+  return Rng(seed ^ salt_tag);
+}
+
 }  // namespace negotiator

@@ -44,6 +44,10 @@ struct RelayTrainChunk {
   TorId final_dst;
   FlowId flow;
   Bytes bytes;
+  /// ARQ sequence number (see tor/host_transport.h). 0 when the host
+  /// transport is disabled; seq-carrying chunks are never coalesced or
+  /// split, so each one stays a retransmittable unit end to end.
+  std::uint32_t seq{0};
 };
 
 /// One staged final-destination delivery riding a slot's coalesced
@@ -58,6 +62,7 @@ struct DeliveryRecord {
   FlowId flow;  // dense FlowTable index
   TorId dst;    // final destination ToR
   Bytes bytes;
+  std::uint32_t seq{0};  // ARQ sequence number; 0 when transport disabled
 };
 
 inline constexpr TorId kInvalidTor = -1;

@@ -70,6 +70,18 @@ FaultScenario& FaultScenario::control_brownout(
   return *this;
 }
 
+FaultScenario& FaultScenario::data_loss(const DataLossSpec& spec) {
+  NEG_ASSERT(spec.windows >= 1, "data loss needs at least one window");
+  NEG_ASSERT(spec.first_at >= 0 && spec.duration_ns >= 1 &&
+                 spec.start_jitter >= 0 &&
+                 (spec.windows == 1 || spec.interval >= 1),
+             "data-loss timing out of range");
+  NEG_ASSERT(spec.drop >= 0.0 && spec.drop <= 1.0,
+             "data-loss drop out of range");
+  specs_.emplace_back(spec);
+  return *this;
+}
+
 namespace {
 
 struct DirectedLink {
@@ -218,6 +230,17 @@ class Expander {
       const Nanos end = start + s.duration_ns;
       fabric_.schedule_control_brownout(start, end, s.drop);
       timeline_.brownouts.push_back(BrownoutWindow{start, end, s.drop});
+      timeline_.last_transition = std::max(timeline_.last_transition, end);
+    }
+  }
+
+  void operator()(const DataLossSpec& s) {
+    for (int k = 0; k < s.windows; ++k) {
+      const Nanos start =
+          s.first_at + k * s.interval + jitter(rng_, s.start_jitter);
+      const Nanos end = start + s.duration_ns;
+      fabric_.schedule_data_loss(start, end, s.drop);
+      timeline_.data_loss.push_back(DataLossWindow{start, end, s.drop});
       timeline_.last_transition = std::max(timeline_.last_transition, end);
     }
   }

@@ -116,6 +116,23 @@ struct ControlBrownoutSpec {
   double drop{0.9};         ///< absolute drop floor while active
 };
 
+/// Data-plane loss window: `windows` windows during which the lossy data
+/// channel (core/data_channel.h) raises every hop class's chunk-drop
+/// probability to at least `drop`. Window k starts at
+/// first_at + k·interval + jitter in [0, start_jitter] and lasts
+/// duration_ns. Installs via FabricSim::schedule_data_loss — a no-op on
+/// fabrics whose data channel is disabled, so data-loss windows compose
+/// freely with storms and control brownouts (the combined-fault chaos
+/// cases exercise all three at once).
+struct DataLossSpec {
+  int windows{1};
+  Nanos first_at{0};
+  Nanos interval{0};        ///< start-to-start spacing of windows
+  Nanos duration_ns{50 * kMicro};
+  Nanos start_jitter{0};    ///< start jitter in [0, start_jitter]
+  double drop{0.9};         ///< absolute chunk-drop floor while active
+};
+
 /// One expanded link transition, in the exact order it was scheduled.
 struct ScenarioEvent {
   Nanos when{0};
@@ -140,6 +157,13 @@ struct BrownoutWindow {
   double drop{0.0};
 };
 
+/// One expanded data-plane loss window.
+struct DataLossWindow {
+  Nanos start{0};
+  Nanos end{0};
+  double drop{0.0};
+};
+
 /// What install() scheduled: the full link-event list in schedule order,
 /// the churn windows for workload rewriting, the control brownout windows,
 /// and the time of the last transition (run past this and the fabric's
@@ -149,6 +173,7 @@ struct ScenarioTimeline {
   std::vector<ScenarioEvent> link_events;
   std::vector<ChurnWindow> churn;
   std::vector<BrownoutWindow> brownouts;
+  std::vector<DataLossWindow> data_loss;
   Nanos last_transition{0};
   bool repairs_everything{true};  ///< false iff some fail has no repair
 
@@ -167,6 +192,7 @@ class FaultScenario {
   FaultScenario& flapping(const FlapSpec& spec);
   FaultScenario& host_churn(const ChurnSpec& spec);
   FaultScenario& control_brownout(const ControlBrownoutSpec& spec);
+  FaultScenario& data_loss(const DataLossSpec& spec);
 
   bool empty() const { return specs_.empty(); }
   std::size_t spec_count() const { return specs_.size(); }
@@ -186,7 +212,7 @@ class FaultScenario {
 
  private:
   using Spec = std::variant<UniformBurstSpec, StormSpec, FlapSpec, ChurnSpec,
-                            ControlBrownoutSpec>;
+                            ControlBrownoutSpec, DataLossSpec>;
   std::vector<Spec> specs_;
 };
 

@@ -31,6 +31,7 @@ void FlowTable::credit(int index, Bytes bytes, Nanos arrival,
   State& s = states_[static_cast<std::size_t>(index)];
   NEG_ASSERT(!s.done, "delivery to a completed flow");
   s.delivered += bytes;
+  total_delivered_ += bytes;
   NEG_ASSERT(s.delivered <= s.flow.size, "over-delivery");
   if (s.delivered == s.flow.size) {
     s.done = true;
@@ -46,6 +47,7 @@ void FlowTable::credit_span(const DeliveryRecord* records, std::size_t n,
     State& s = states_[static_cast<std::size_t>(records[i].flow)];
     NEG_ASSERT(!s.done, "delivery to a completed flow");
     s.delivered += records[i].bytes;
+    total_delivered_ += records[i].bytes;
     NEG_ASSERT(s.delivered <= s.flow.size, "over-delivery");
     if (s.delivered == s.flow.size) {
       s.done = true;
@@ -107,7 +109,8 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
   // loss-free golden. Disabled -> never constructed -> zero draws.
   if (config_.control_fault.enabled) {
     control_ = std::make_unique<ControlChannel>(
-        config_.control_fault, Rng(config_.seed ^ kControlChannelSeedSalt));
+        config_.control_fault,
+        make_salted_stream(config_.seed, kControlChannelSeedSalt));
     scheduler_->set_control_channel(control_.get());
     if (config_.control_fault.fallback) {
       fb_tx_stamp_.assign(static_cast<std::size_t>(config_.num_tors) *
@@ -122,6 +125,24 @@ NegotiatorFabric::NegotiatorFabric(const NetworkConfig& config,
   validate = true;  // invariants always on in debug/sanitizer builds
 #endif
   if (validate) validator_ = std::make_unique<MatchingValidator>(*topo_);
+
+  // Lossy data plane + end-host ARQ: same salted private-stream contract
+  // as the control channel above — disabled -> never constructed -> zero
+  // draws, so every loss-free golden stays byte-identical. The auditor
+  // arms alongside the MatchingValidator (validate_matching or !NDEBUG)
+  // whenever the channel exists.
+  if (config_.data_fault.enabled) {
+    data_ = std::make_unique<DataChannel>(
+        config_.data_fault,
+        make_salted_stream(config_.seed, kDataChannelSeedSalt));
+    if (config_.data_fault.arq) {
+      transport_ = std::make_unique<HostTransport>(config_, &sim_.events());
+    }
+    if (validate) {
+      auditor_ =
+          std::make_unique<ConservationAuditor>(config_.data_fault.arq);
+    }
+  }
 
   // rx ports are destination-independent in both topologies (parallel:
   // plane-preserving rx == tx; thin-clos: rx pinned by the source's
@@ -150,6 +171,7 @@ void NegotiatorFabric::on_flow_arrival(const FlowArrivalEvent& e, Nanos now) {
   queued.id = e.flow_index;
   tors_[static_cast<std::size_t>(f.src)].accept_flow(queued, now);
   active_sources_.insert(f.src);
+  if (data_) injected_bytes_ += f.size;  // conservation ledger
   arrived_[static_cast<std::size_t>(f.src) * config_.num_tors + f.dst] +=
       f.size;
   // A flow landing mid-predefined-phase can piggyback on its pair's
@@ -217,6 +239,11 @@ void NegotiatorFabric::on_relay_train(const RelayTrainEvent& e,
     relay_active_.insert(inter);
     i = j;
   }
+  if (data_) {
+    for (std::uint32_t k = 0; k < e.count; ++k) {
+      transit_bytes_ -= chunks[k].bytes;  // landed: in-transit -> parked
+    }
+  }
 }
 
 void NegotiatorFabric::add_flow(const Flow& flow) {
@@ -242,13 +269,73 @@ void NegotiatorFabric::schedule_control_brownout(Nanos start, Nanos end,
   if (control_) control_->add_brownout(start, end, drop_floor);
 }
 
+void NegotiatorFabric::schedule_data_loss(Nanos start, Nanos end,
+                                          double drop_floor) {
+  // Same tolerance as brownouts: without a data channel the loss window
+  // simply has no data plane to degrade.
+  if (data_) data_->add_loss_window(start, end, drop_floor);
+}
+
 void NegotiatorFabric::set_resilience(ResilienceRecorder* recorder) {
   FabricSim::set_resilience(recorder);
   if (control_) control_->set_recorder(recorder);
+  if (data_) data_->set_recorder(recorder);
+  if (transport_) transport_->set_recorder(recorder);
+}
+
+void NegotiatorFabric::on_transport_timer(const TransportTimerEvent& e,
+                                          Nanos now) {
+  NEG_ASSERT(transport_ != nullptr, "transport timer without a transport");
+  if (transport_->on_timer(e.flow_index, now) && in_predefined_phase_) {
+    // The fire moved units into a retransmit FIFO mid-predefined-phase:
+    // re-gather the pair so a not-yet-passed connection can serve it this
+    // very epoch (mirrors the mid-phase flow-arrival hook above).
+    gather_predefined_pair(transport_->flow_src(e.flow_index),
+                           transport_->flow_dst(e.flow_index));
+  }
+}
+
+void NegotiatorFabric::transmit_direct(int flow_index, TorId src, TorId dst,
+                                       Bytes bytes, Nanos now) {
+  std::uint32_t seq = 0;
+  if (transport_) {
+    seq = transport_->on_transmit(flow_index, src, dst, bytes, now);
+  }
+  if (data_) {
+    const DataChannel::Fate fate =
+        data_->classify(DataHopClass::kFirstHop, bytes);
+    if (!fate.deliver) return;  // lost in flight (ARQ will retransmit)
+  }
+  stage_delivery(flow_index, dst, bytes, seq);
+}
+
+bool NegotiatorFabric::try_retransmit(TorId src, TorId dst, Nanos now) {
+  if (!transport_ || !transport_->has_retx(src, dst)) return false;
+  const HostTransport::RetxChunk r = transport_->take_retx(src, dst, now);
+  // A retransmission is a first-hop transmission like any other: it
+  // redraws the channel and can be lost again (the timer re-covers it).
+  const DataChannel::Fate fate =
+      data_->classify(DataHopClass::kFirstHop, r.bytes);
+  if (fate.deliver) stage_delivery(r.flow, dst, r.bytes, r.seq);
+  return true;
 }
 
 void NegotiatorFabric::flush_deliveries(Nanos arrival) {
   if (delivery_build_.empty()) return;
+  if (transport_) {
+    // Receiver-side ARQ filter: only a unit's first arrival survives to
+    // the credit/goodput/host-plane effects below; duplicates and copies
+    // of abandoned units vanish here.
+    std::size_t keep = 0;
+    for (const DeliveryRecord& r : delivery_build_) {
+      if (transport_->on_deliver(static_cast<std::int32_t>(r.flow), r.seq,
+                                 r.bytes, arrival)) {
+        delivery_build_[keep++] = r;
+      }
+    }
+    delivery_build_.resize(keep);
+    if (delivery_build_.empty()) return;
+  }
   const std::size_t n = delivery_build_.size();
   if (resilience_ && links_.failed_count() > 0) {
     Bytes degraded = 0;
@@ -286,6 +373,8 @@ void NegotiatorFabric::run_epoch() {
     }
   }
   if (control_) control_->begin_epoch(sim_.now());
+  if (data_) data_->begin_epoch(sim_.now());
+  if (transport_) transport_->flush_acks(sim_.now());
   scheduler_->begin_epoch(epoch_, sim_.now(), *this, faults_);
   if (validator_) {
     NEG_ASSERT(validator_->validate(scheduler_->matches(), epoch_),
@@ -307,7 +396,26 @@ void NegotiatorFabric::run_epoch() {
   run_predefined_phase();
   run_scheduled_phase();
   faults_.end_epoch(resilience_, sim_.now());
+  if (auditor_) audit_conservation();
   ++epoch_;
+}
+
+void NegotiatorFabric::audit_conservation() {
+  ConservationLedger l;
+  l.injected = injected_bytes_;
+  for (const TorSwitch& t : tors_) l.source_queued += t.total_pending();
+  l.delivered = flow_table_.total_delivered();
+  if (transport_) {
+    l.arq_unresolved = transport_->unresolved_bytes();
+    l.arq_delivered = transport_->delivered_bytes();
+    l.arq_abandoned = transport_->abandoned_bytes();
+  } else {
+    for (const RelayQueueSet& r : relay_) l.relay_parked += r.total_bytes();
+    l.in_transit = transit_bytes_;
+    l.dropped = data_->dropped_bytes();
+    l.corrupted = data_->corrupted_bytes();
+  }
+  auditor_->check(epoch_, l);
 }
 
 NegotiatorFabric::PredefConn NegotiatorFabric::resolve_predef_conn(
@@ -363,6 +471,13 @@ void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
   // Bitmap membership == "queue non-empty": one bit read instead of a
   // pointer chase into the per-destination queue.
   TorSwitch& tor = tors_[static_cast<std::size_t>(c.src)];
+  // Retransmissions outrank fresh piggyback data for the pair's slot
+  // (selective repeat: the oldest lost unit is the flow's head of line).
+  if (transport_ && up &&
+      !(host_plane_ && pause_advertised_[static_cast<std::size_t>(c.dst)]) &&
+      try_retransmit(c.src, c.dst, sim_.now())) {
+    return;  // slot consumed by the retransmission
+  }
   if (!config_.piggyback || !tor.active_destinations().contains(c.dst)) {
     return;
   }
@@ -374,7 +489,8 @@ void NegotiatorFabric::visit_predefined_conn(const PredefConn& c,
     NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
     ++piggyback_packets_;
     sync_source_activity(c.src);
-    stage_delivery(static_cast<int>(pkt->flow), c.dst, pkt->bytes);
+    transmit_direct(static_cast<int>(pkt->flow), c.src, c.dst, pkt->bytes,
+                    sim_.now());
   } else if (!faults_.tx_excluded(c.src, c.tx) &&
              !faults_.rx_excluded(c.dst, c.rx)) {
     // Undetected failure: the packet is transmitted into a dark fibre
@@ -430,6 +546,13 @@ void NegotiatorFabric::run_predefined_phase() {
         gather_predefined_pair(s, d);
       }
     }
+  }
+  if (transport_) {
+    // Pairs with retransmit work ride predefined connections even when
+    // piggyback is off — a retransmission is owed a slot regardless of
+    // how the original unit was transmitted.
+    transport_->for_each_retx_pair(
+        [this](TorId s, TorId d) { gather_predefined_pair(s, d); });
   }
 
   for (int slot = 0; slot < timing_.predefined_slots(); ++slot) {
@@ -528,7 +651,8 @@ void NegotiatorFabric::run_fallback_slot() {
       auto pkt = tor.dequeue_packet(d, payload);
       NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
       sync_source_activity(s);
-      stage_delivery(static_cast<int>(pkt->flow), d, pkt->bytes);
+      transmit_direct(static_cast<int>(pkt->flow), s, d, pkt->bytes,
+                      sim_.now());
       fallback_bytes_ += pkt->bytes;
       if (resilience_) resilience_->on_fallback_delivery(pkt->bytes);
       sent = true;
@@ -588,6 +712,14 @@ void NegotiatorFabric::run_scheduled_phase() {
         live_matches_[keep++] = index;
         continue;
       }
+      // 0. A pending retransmission for the matched pair outranks fresh
+      // data (selective repeat: the lost unit is the pair's oldest debt).
+      // The match stays live — its queue state is unchanged.
+      if (transport_ && try_retransmit(m.src, m.dst, sim_.now())) {
+        ++match_slots_used_;
+        live_matches_[keep++] = index;
+        continue;
+      }
       // 1. Direct data for the matched destination. The pending check is a
       // plain counter read — most slots of an over-scheduled match find a
       // drained queue (§3.5); such matches are dropped from the live list
@@ -597,7 +729,8 @@ void NegotiatorFabric::run_scheduled_phase() {
         NEG_ASSERT(pkt.has_value(), "pending queue yielded no packet");
         ++match_slots_used_;
         sync_source_activity(m.src);
-        stage_delivery(static_cast<int>(pkt->flow), m.dst, pkt->bytes);
+        transmit_direct(static_cast<int>(pkt->flow), m.src, m.dst,
+                        pkt->bytes, sim_.now());
         live_matches_[keep++] = index;
         continue;
       }
@@ -625,7 +758,16 @@ void NegotiatorFabric::run_scheduled_phase() {
               parked.dequeue_span(m.dst, payload, 1, &chunk);
           NEG_ASSERT(got == 1, "pending relay yielded no chunk");
           sync_relay_activity(m.src);
-          stage_delivery(static_cast<int>(chunk.flow), m.dst, chunk.bytes);
+          bool deliver = true;
+          if (data_) {
+            deliver =
+                data_->classify(DataHopClass::kSecondHop, chunk.bytes)
+                    .deliver;
+          }
+          if (deliver) {
+            stage_delivery(static_cast<int>(chunk.flow), m.dst, chunk.bytes,
+                           chunk.seq);
+          }
           live_matches_[keep++] = index;
           continue;
         }
@@ -636,14 +778,32 @@ void NegotiatorFabric::run_scheduled_phase() {
         if (auto pkt = tor.dequeue_elephant_packet(m.relay_final_dst, cap)) {
           a.relay_remaining -= pkt->bytes;
           sync_source_activity(m.src);
-          // Batched data plane: the chunk joins this slot's train towards
-          // the intermediate m.dst; the train ships once when the slot
-          // closes (same arrival time, same per-chunk order at the
-          // receiver's FIFO as the per-chunk events it replaces).
-          auto& train = train_build_[static_cast<std::size_t>(m.dst)];
-          if (train.empty()) train_touched_.push_back(m.dst);
-          train.push_back(RelayTrainChunk{m.dst, m.relay_final_dst,
-                                          pkt->flow, pkt->bytes});
+          // The ARQ unit is the elephant chunk itself; a retransmission
+          // after a loss on either VLB leg goes direct (first-hop) to the
+          // final destination, never back through a relay queue.
+          std::uint32_t seq = 0;
+          if (transport_) {
+            seq = transport_->on_transmit(static_cast<std::int32_t>(
+                                              pkt->flow),
+                                          m.src, m.relay_final_dst,
+                                          pkt->bytes, sim_.now());
+          }
+          bool deliver = true;
+          if (data_) {
+            deliver =
+                data_->classify(DataHopClass::kRelay, pkt->bytes).deliver;
+          }
+          if (deliver) {
+            if (data_) transit_bytes_ += pkt->bytes;
+            // Batched data plane: the chunk joins this slot's train
+            // towards the intermediate m.dst; the train ships once when
+            // the slot closes (same arrival time, same per-chunk order at
+            // the receiver's FIFO as the per-chunk events it replaces).
+            auto& train = train_build_[static_cast<std::size_t>(m.dst)];
+            if (train.empty()) train_touched_.push_back(m.dst);
+            train.push_back(RelayTrainChunk{m.dst, m.relay_final_dst,
+                                            pkt->flow, pkt->bytes, seq});
+          }
         }
       }
       // Otherwise the link idles this slot: the cost of stateless
@@ -677,6 +837,13 @@ Bytes NegotiatorFabric::total_backlog() const {
   Bytes total = 0;
   for (const TorSwitch& t : tors_) total += t.total_pending();
   for (const RelayQueueSet& r : relay_) total += r.total_bytes();
+  // Every ARQ unit between first transmit and first arrival — in flight,
+  // dropped and awaiting its RTO, or queued for a retransmit slot — is
+  // backlog the fabric still owes service to: drain loops must keep
+  // simulated time moving until the pending timers fire and the
+  // retransmissions land. (Chunks parked at a relay are counted by the
+  // relay sum too; the overlap is harmless for a drain signal.)
+  if (transport_) total += transport_->unresolved_bytes();
   return total;
 }
 

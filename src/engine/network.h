@@ -11,11 +11,13 @@
 #include "common/config.h"
 #include "common/types.h"
 #include "core/control_channel.h"
+#include "core/data_channel.h"
 #include "core/demand_view.h"
 #include "core/epoch.h"
 #include "core/fault_detector.h"
 #include "core/matching_validator.h"
 #include "core/negotiator_scheduler.h"
+#include "engine/conservation_auditor.h"
 #include "sim/simulation.h"
 #include "stats/fct_recorder.h"
 #include "stats/goodput_meter.h"
@@ -23,6 +25,7 @@
 #include "topo/predefined_schedule.h"
 #include "topo/topology.h"
 #include "tor/host_plane.h"
+#include "tor/host_transport.h"
 #include "tor/relay_queue.h"
 #include "tor/tor_switch.h"
 #include "workload/flow.h"
@@ -48,6 +51,8 @@ class FlowTable {
                    Nanos arrival, FctRecorder& fct);
   std::size_t size() const { return states_.size(); }
   bool done(int index) const;
+  /// Total bytes credited across every flow (conservation ledger).
+  Bytes total_delivered() const { return total_delivered_; }
 
  private:
   struct State {
@@ -57,6 +62,7 @@ class FlowTable {
   };
   std::vector<State> states_;
   std::vector<FctSample> completed_scratch_;  // per-span staging
+  Bytes total_delivered_{0};
 };
 
 class FabricSim {
@@ -120,6 +126,13 @@ class FabricSim {
   virtual void schedule_control_brownout(Nanos /*start*/, Nanos /*end*/,
                                          double /*drop_floor*/) {}
 
+  /// Schedules a data-plane loss window [start, end) with an absolute
+  /// chunk-drop floor (engine/fault_scenario.h, DataLossSpec). Default
+  /// no-op: a fabric whose data channel is disabled tolerates data-loss
+  /// scenarios silently — same contract as brownouts above.
+  virtual void schedule_data_loss(Nanos /*start*/, Nanos /*end*/,
+                                  double /*drop_floor*/) {}
+
   /// Ports currently excluded by the fault-detection plane (counted per
   /// direction; 0 for fabrics without detection, e.g. the oblivious
   /// baseline, and for an idle fault plane).
@@ -174,6 +187,8 @@ class NegotiatorFabric final : public FabricSim,
                            LinkDirection dir, bool fail) override;
   void schedule_control_brownout(Nanos start, Nanos end,
                                  double drop_floor) override;
+  void schedule_data_loss(Nanos start, Nanos end,
+                          double drop_floor) override;
   void set_resilience(ResilienceRecorder* recorder) override;
   int excluded_ports() const override { return faults_.excluded_count(); }
 
@@ -208,6 +223,15 @@ class NegotiatorFabric final : public FabricSim,
 
   /// Lossy control channel (null when control_fault is disabled).
   const ControlChannel* control_channel() const { return control_.get(); }
+  /// Lossy data channel (null when data_fault is disabled).
+  const DataChannel* data_channel() const { return data_.get(); }
+  /// End-host ARQ transport (null unless data_fault.enabled && .arq).
+  const HostTransport* host_transport() const { return transport_.get(); }
+  /// Byte-conservation auditor (null unless armed; see
+  /// engine/conservation_auditor.h).
+  const ConservationAuditor* conservation_auditor() const {
+    return auditor_.get();
+  }
   /// Scheduled slots in which the oblivious fallback delivered data, and
   /// the bytes it moved (0 unless control_fault.fallback).
   std::int64_t degraded_slots() const { return degraded_slots_; }
@@ -220,6 +244,7 @@ class NegotiatorFabric final : public FabricSim,
   void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
   void on_relay_train(const RelayTrainEvent& e, const RelayTrainChunk* chunks,
                       Nanos now) override;
+  void on_transport_timer(const TransportTimerEvent& e, Nanos now) override;
 
   void run_epoch();
   void run_predefined_phase();
@@ -241,10 +266,21 @@ class NegotiatorFabric final : public FabricSim,
   /// dequeue already happened (queue state must stay live for same-slot
   /// reads); the flow credit / FCT / goodput / host-plane effects ride the
   /// span and land in flush_deliveries in staged order.
-  void stage_delivery(int flow_index, TorId dst, Bytes bytes) {
+  void stage_delivery(int flow_index, TorId dst, Bytes bytes,
+                      std::uint32_t seq = 0) {
     delivery_build_.push_back(
-        DeliveryRecord{static_cast<FlowId>(flow_index), dst, bytes});
+        DeliveryRecord{static_cast<FlowId>(flow_index), dst, bytes, seq});
   }
+  /// Transmits one fresh first-hop/direct packet through the lossy data
+  /// plane: stamps the ARQ seq (when the transport is on), draws the
+  /// channel fate, and stages the delivery when the chunk survives.
+  /// Without a data channel this is exactly stage_delivery. `src` is the
+  /// transmitting ToR (the ARQ unit's retransmit origin).
+  void transmit_direct(int flow_index, TorId src, TorId dst, Bytes bytes,
+                       Nanos now);
+  /// One retransmission attempt for pair (src, dst), if the transport has
+  /// work queued there; returns true when a slot was consumed.
+  bool try_retransmit(TorId src, TorId dst, Nanos now);
   /// Lands the staged span as one coalesced walk: credit_span (bulk FCT
   /// completion), record_delivery_span (per-destination deltas), and the
   /// host plane's per-record drain, all at the slot's shared `arrival`.
@@ -402,6 +438,22 @@ class NegotiatorFabric final : public FabricSim,
   /// created when config.validate_matching is set, and always in
   /// !NDEBUG builds.
   std::unique_ptr<MatchingValidator> validator_;
+
+  // --- Lossy data plane (core/data_channel.h + tor/host_transport.h) ---
+  //
+  // Same contract as the control channel: absent (the default) every data
+  // path is byte-identical to a channel-free build. The transport exists
+  // only when data_fault.arq is also set; the auditor arms like the
+  // MatchingValidator (validate_matching or !NDEBUG) whenever the channel
+  // exists.
+  std::unique_ptr<DataChannel> data_;
+  std::unique_ptr<HostTransport> transport_;
+  std::unique_ptr<ConservationAuditor> auditor_;
+  /// Ledger counters maintained only when data_ exists.
+  Bytes injected_bytes_{0};
+  Bytes transit_bytes_{0};  // scheduled train chunks not yet landed
+  /// Assembles the epoch-boundary ledger and runs the auditor.
+  void audit_conservation();
 
   // Fallback state (empty unless control_fault.fallback):
   /// Epochs a source must stay active-but-unmatched before the fallback

@@ -53,8 +53,20 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   }
   void schedule_link_event(Nanos when, TorId tor, PortId port,
                            LinkDirection dir, bool fail) override;
+  void schedule_data_loss(Nanos start, Nanos end,
+                          double drop_floor) override;
+  void set_resilience(ResilienceRecorder* recorder) override;
 
   Nanos cycle_length_ns() const { return rotor_.cycle_length_ns(); }
+
+  /// Lossy data channel (null when data_fault is disabled).
+  const DataChannel* data_channel() const { return data_.get(); }
+  /// End-host ARQ transport (null unless data_fault.enabled && .arq).
+  const HostTransport* host_transport() const { return transport_.get(); }
+  /// Byte-conservation auditor (null unless armed).
+  const ConservationAuditor* conservation_auditor() const {
+    return auditor_.get();
+  }
 
  private:
   // EventSink: typed events scheduled on the simulation clock.
@@ -63,6 +75,7 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   void on_relay_handoff(const RelayHandoffEvent& e, Nanos now) override;
   void on_relay_train(const RelayTrainEvent& e, const RelayTrainChunk* chunks,
                       Nanos now) override;
+  void on_transport_timer(const TransportTimerEvent& e, Nanos now) override;
 
   void run_slot(std::int64_t global_slot);
   /// Drains the slot's staged second-hop/direct deliveries as one span:
@@ -101,12 +114,14 @@ class ObliviousFabric final : public FabricSim, private EventSink {
     const int believers = peers_believe_congested_[static_cast<std::size_t>(tor)];
     return congested(tor) ? config_.num_tors - 1 - believers : believers;
   }
-  /// Re-derives `tor`'s busy_ membership from the three conditions.
+  /// Re-derives `tor`'s busy_ membership from the conditions (plus
+  /// pending ARQ retransmissions, which are owed rotor slots too).
   void update_busy(TorId tor) {
     const bool busy =
         !tors_[static_cast<std::size_t>(tor)].active_destinations().empty() ||
         relay_[static_cast<std::size_t>(tor)].total_bytes() > 0 ||
-        stale_peers(tor) > 0;
+        stale_peers(tor) > 0 ||
+        (transport_ && transport_->has_retx_from(tor));
     if (busy) {
       busy_.insert(tor);
     } else {
@@ -154,6 +169,18 @@ class ObliviousFabric final : public FabricSim, private EventSink {
   /// boolean form of last_occupancy_ — the only part room checks can see.)
   std::vector<std::uint8_t> advertised_congested_;
   std::vector<std::int32_t> peers_believe_congested_;  // [tor]
+
+  // --- Lossy data plane (core/data_channel.h + tor/host_transport.h) ---
+  //
+  // Same disabled-≡-never-constructed contract as the negotiator fabric;
+  // the channel samples loss windows per rotor slot (the oblivious
+  // epoch), and the auditor runs at each cycle boundary.
+  std::unique_ptr<DataChannel> data_;
+  std::unique_ptr<HostTransport> transport_;
+  std::unique_ptr<ConservationAuditor> auditor_;
+  Bytes injected_bytes_{0};
+  Bytes transit_bytes_{0};  // spread train chunks not yet landed
+  void audit_conservation(std::int64_t cycle);
 };
 
 }  // namespace negotiator

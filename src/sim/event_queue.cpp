@@ -199,6 +199,26 @@ void EventQueue::schedule_relay_handoff(Nanos when,
   push_heap_entry(std::move(e));
 }
 
+void EventQueue::schedule_transport_timer(Nanos when,
+                                          const TransportTimerEvent& ev) {
+  NEG_ASSERT(when >= 0, "event time must be non-negative");
+  Payload payload;
+  payload.timer = ev;
+  if (calendar_.accepts(when)) {
+    calendar_.push(when, next_seq_++, Kind::kTransportTimer, payload);
+    return;
+  }
+  // Beyond the calendar horizon (backoff pushes RTO deadlines far out) or
+  // behind its cursor: fall back to a heap entry. Ordering is unchanged —
+  // pops merge all tiers by (when, seq).
+  Entry e;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.kind = Kind::kTransportTimer;
+  e.payload = payload;
+  push_heap_entry(std::move(e));
+}
+
 void EventQueue::grow_arena() {
   const std::size_t old_cap = train_arena_.size();
   const std::size_t cap = old_cap == 0 ? 1024 : old_cap * 2;
@@ -278,6 +298,11 @@ void EventQueue::dispatch(const Entry& e) {
     case Kind::kRelayTrain:
       dispatch_train(e.payload.train, e.when);
       break;
+    case Kind::kTransportTimer:
+      ++executed_;
+      NEG_ASSERT(sink_ != nullptr, "typed event without a sink");
+      sink_->on_transport_timer(e.payload.timer, e.when);
+      break;
   }
 }
 
@@ -294,6 +319,10 @@ void EventQueue::dispatch_item(const Item& item) {
       break;
     case Kind::kRelayTrain:
       dispatch_train(item.payload.train, item.when);
+      break;
+    case Kind::kTransportTimer:
+      ++executed_;
+      sink_->on_transport_timer(item.payload.timer, item.when);
       break;
     default:
       NEG_ASSERT(false, "unexpected item kind in a streamed tier");

@@ -66,6 +66,13 @@ struct RelayHandoffEvent {
   Bytes bytes;
 };
 
+/// An ARQ retransmission timer (tor/host_transport.h) expiring for one
+/// flow. Timers are lazy: a fire may be stale (the ack already arrived),
+/// so the transport re-derives the flow's real deadline on receipt.
+struct TransportTimerEvent {
+  std::int32_t flow_index;
+};
+
 /// A chunk *train*: a batch of relay chunks (typically one whole slot's
 /// worth, each chunk naming its own intermediate) travelling as a single
 /// calendar event. `offset`/`count` address a contiguous span in the
@@ -86,6 +93,12 @@ class EventSink {
   /// `chunks` points at e.count records valid for the duration of the call.
   virtual void on_relay_train(const RelayTrainEvent& e,
                               const RelayTrainChunk* chunks, Nanos now) = 0;
+  /// ARQ retransmission timer expiry; defaulted no-op so sinks without a
+  /// host transport need not override.
+  virtual void on_transport_timer(const TransportTimerEvent& e, Nanos now) {
+    (void)e;
+    (void)now;
+  }
 
  protected:
   ~EventSink() = default;
@@ -109,6 +122,10 @@ class EventQueue {
   void schedule_flow_arrival(Nanos when, std::int32_t flow_index);
   void schedule_link_toggle(Nanos when, const LinkToggleEvent& e);
   void schedule_relay_handoff(Nanos when, const RelayHandoffEvent& e);
+  /// ARQ retransmission timers ride the calendar tier like relay
+  /// handoffs; a timer beyond the horizon (backoff pushes deadlines far
+  /// out) falls back to a heap entry with identical observable order.
+  void schedule_transport_timer(Nanos when, const TransportTimerEvent& e);
 
   /// Schedules one chunk train: the `count` chunks are copied into the
   /// queue's train arena and delivered to the sink as one contiguous span
@@ -175,6 +192,7 @@ class EventQueue {
     kLinkToggle,
     kRelayHandoff,
     kRelayTrain,
+    kTransportTimer,
   };
 
   union Payload {
@@ -182,6 +200,7 @@ class EventQueue {
     LinkToggleEvent link;
     RelayHandoffEvent relay;
     RelayTrainEvent train;
+    TransportTimerEvent timer;
     Payload() : flow{0} {}
   };
 

@@ -78,6 +78,26 @@ class ResilienceRecorder final : public FaultPlane::Listener {
     control_accepts_ += static_cast<std::int64_t>(accepts);
   }
 
+  // Data-plane fault hooks (core/data_channel.h + tor/host_transport.h).
+  // Same contract as the control hooks: incremental, and zero-cost when
+  // the lossy data plane is absent because nothing calls them.
+  void on_data_dropped(Bytes bytes) {
+    ++data_dropped_;
+    data_dropped_bytes_ += bytes;
+  }
+  void on_data_corrupted(Bytes bytes) {
+    ++data_corrupted_;
+    data_corrupted_bytes_ += bytes;
+  }
+  /// One chunk handed back to the fabric for retransmission.
+  void on_retransmit(Bytes bytes) { retransmitted_bytes_ += bytes; }
+  /// A retransmitted copy arrived for a chunk the receiver already had.
+  void on_spurious_retx() { ++spurious_retx_; }
+  /// One genuine RTO expiry (stale timer wakeups are not counted).
+  void on_rto_fire() { ++rto_fires_; }
+  /// An RTO expiry found the flow already at its backoff cap.
+  void on_max_backoff() { ++max_backoff_reached_; }
+
   struct LatencyStats {
     std::int64_t count{0};
     Nanos sum{0};
@@ -113,8 +133,24 @@ class ResilienceRecorder final : public FaultPlane::Listener {
                                : 0.0;
   }
 
+  std::int64_t data_dropped() const { return data_dropped_; }
+  std::int64_t data_corrupted() const { return data_corrupted_; }
+  Bytes data_dropped_bytes() const { return data_dropped_bytes_; }
+  Bytes data_corrupted_bytes() const { return data_corrupted_bytes_; }
+  Bytes retransmitted_bytes() const { return retransmitted_bytes_; }
+  std::int64_t spurious_retx() const { return spurious_retx_; }
+  std::int64_t rto_fires() const { return rto_fires_; }
+  std::int64_t max_backoff_reached() const { return max_backoff_reached_; }
+
+  /// Version of the json() schema below. Bump whenever a field is added,
+  /// removed, or reordered so nightly chaos-JSON diffs can tell a schema
+  /// change from a metrics change.
+  static constexpr int kSchemaVersion = 2;
+
   /// One-line JSON object with the full metrics schema (see README
-  /// "Fault model" for field meanings); stable field order.
+  /// "Fault model" for field meanings). Field order is fixed — the
+  /// emission is a single snprintf, so it cannot vary across compilers —
+  /// and `schema_version` leads the object.
   std::string json() const;
 
  private:
@@ -142,6 +178,14 @@ class ResilienceRecorder final : public FaultPlane::Listener {
   Bytes fallback_bytes_{0};
   std::int64_t control_grants_{0};
   std::int64_t control_accepts_{0};
+  std::int64_t data_dropped_{0};
+  std::int64_t data_corrupted_{0};
+  Bytes data_dropped_bytes_{0};
+  Bytes data_corrupted_bytes_{0};
+  Bytes retransmitted_bytes_{0};
+  std::int64_t spurious_retx_{0};
+  std::int64_t rto_fires_{0};
+  std::int64_t max_backoff_reached_{0};
 };
 
 }  // namespace negotiator

@@ -18,6 +18,10 @@ struct RelayChunk {
   FlowId flow;
   Bytes bytes;
   Nanos received_at;
+  /// ARQ sequence number (see tor/host_transport.h). 0 with the transport
+  /// disabled; seq-carrying chunks never coalesce across distinct seqs,
+  /// so each one stays a retransmittable unit through its second hop.
+  std::uint32_t seq{0};
 };
 
 /// A flat ring-buffer FIFO of relay chunks. The oblivious fabric pushes and
@@ -96,14 +100,15 @@ class RelayQueueSet {
 
   /// Inline: the oblivious fabric enqueues one chunk per spread packet —
   /// millions per run.
-  void enqueue(TorId final_dst, FlowId flow, Bytes bytes, Nanos now) {
+  void enqueue(TorId final_dst, FlowId flow, Bytes bytes, Nanos now,
+               std::uint32_t seq = 0) {
     NEG_ASSERT(bytes > 0, "cannot relay zero bytes");
     auto& q = queues_[static_cast<std::size_t>(final_dst)];
     if (q.empty()) active_.insert(final_dst);
-    if (!q.empty() && q.back().flow == flow) {
+    if (!q.empty() && q.back().flow == flow && q.back().seq == seq) {
       q.back().bytes += bytes;
     } else {
-      q.push_back(RelayChunk{flow, bytes, now});
+      q.push_back(RelayChunk{flow, bytes, now, seq});
     }
     queue_bytes_[static_cast<std::size_t>(final_dst)] += bytes;
     total_bytes_ += bytes;
@@ -131,14 +136,17 @@ class RelayQueueSet {
         NEG_ASSERT(chunks[i].bytes > 0, "cannot relay zero bytes");
         run_bytes += chunks[i].bytes;
         if (!span_scratch_.empty() &&
-            span_scratch_.back().flow == chunks[i].flow) {
+            span_scratch_.back().flow == chunks[i].flow &&
+            span_scratch_.back().seq == chunks[i].seq) {
           span_scratch_.back().bytes += chunks[i].bytes;
         } else if (span_scratch_.empty() && !q.empty() &&
-                   q.back().flow == chunks[i].flow) {
+                   q.back().flow == chunks[i].flow &&
+                   q.back().seq == chunks[i].seq) {
           q.back().bytes += chunks[i].bytes;
         } else {
           span_scratch_.push_back(
-              RelayChunk{chunks[i].flow, chunks[i].bytes, now});
+              RelayChunk{chunks[i].flow, chunks[i].bytes, now,
+                         chunks[i].seq});
         }
       }
       q.push_span(span_scratch_.data(), span_scratch_.size());
@@ -174,7 +182,12 @@ class RelayQueueSet {
     while (n < max_packets && !q.empty()) {
       RelayChunk& head = q.front();
       const Bytes take = std::min(head.bytes, max_payload);
-      out[n++] = RelayChunk{head.flow, take, head.received_at};
+      // A seq-carrying chunk is an indivisible ARQ unit: it was sized at
+      // most one payload at transmit time and never coalesces across
+      // seqs, so the partial-take split below can only hit seq-0 chunks.
+      NEG_ASSERT(head.seq == 0 || take == head.bytes,
+                 "cannot split a seq-carrying relay chunk");
+      out[n++] = RelayChunk{head.flow, take, head.received_at, head.seq};
       head.bytes -= take;
       taken += take;
       if (head.bytes == 0) q.pop_front();

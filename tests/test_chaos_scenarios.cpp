@@ -23,6 +23,18 @@
 // convergence invariants apply: loss strands bytes only while it starves
 // the matching — stateless re-requests mean the fabric still drains.
 //
+// A third sweep (NEG_DATA_LOSS_CASES, default 24) runs every scheduler
+// kind under the seeded lossy *data* plane (core/data_channel.h) with the
+// end-host ARQ on (tor/host_transport.h): randomized per-hop drop rates,
+// a data-loss window in every case, and — on half the cases — the full
+// triple-fault composition (ToR-group storm + control brownout + data-loss
+// window overlapping in time). Every case sets validate_matching, which
+// also arms the byte-conservation auditor (engine/conservation_auditor.h):
+// the ledger injected = stranded + unresolved + delivered + abandoned is
+// asserted at every epoch boundary of every case. The drain invariant is
+// strictly stronger here: ARQ must re-deliver every dropped chunk, so the
+// fabric still completes every flow byte-for-byte.
+//
 // NEG_CHAOS_SCENARIOS overrides the scenario count (default 108; the
 // nightly chaos job sweeps several hundred). NEG_CHAOS_JSON, when set,
 // writes an aggregate resilience-metrics JSON artifact after ALL sweeps
@@ -38,6 +50,7 @@
 
 #include "engine/fault_scenario.h"
 #include "engine/runner.h"
+#include "oblivious/oblivious_scheduler.h"
 #include "stats/resilience_recorder.h"
 #include "workload/generator.h"
 #include "workload/size_distribution.h"
@@ -76,11 +89,22 @@ int lossy_case_count() {
   return 24;  // 4 per negotiator variant by default
 }
 
+/// The lossy-data-plane sweep (auditor armed on every case); the nightly
+/// chaos job raises it to 96.
+int data_loss_case_count() {
+  if (const char* env = std::getenv("NEG_DATA_LOSS_CASES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 24;
+}
+
 /// Aggregate resilience metrics across every sweep in the binary; the
 /// NEG_CHAOS_JSON artifact is written from these after all tests ran.
 struct SweepTotals {
   int scenarios{0};
   int lossy_cases{0};
+  int data_loss_cases{0};
   std::int64_t failures{0};
   std::int64_t exclusion_churn{0};
   Bytes blackholed{0};
@@ -94,6 +118,12 @@ struct SweepTotals {
   Bytes fallback_bytes{0};
   std::int64_t control_grants{0};
   std::int64_t control_accepts{0};
+  std::int64_t data_dropped{0};
+  std::int64_t data_corrupted{0};
+  Bytes retransmitted_bytes{0};
+  std::int64_t spurious_retx{0};
+  std::int64_t rto_fires{0};
+  std::int64_t conservation_checks{0};
 };
 SweepTotals g_totals;
 
@@ -250,17 +280,126 @@ ChaosCase build_lossy_case(int index) {
   return cc;
 }
 
+/// One lossy-data-plane case: any scheduler kind with the seeded chunk
+/// drop/corruption model and the end-host ARQ installed, a data-loss
+/// window in every case, and — on half — the triple-fault composition
+/// (ToR-group storm + control brownout + data-loss window overlapping).
+/// validate_matching arms the byte-conservation auditor on every case.
+ChaosCase build_data_loss_case(int index) {
+  ChaosCase cc;
+  Rng rng(0xda7a'0000ull + static_cast<std::uint64_t>(index));
+  NetworkConfig& cfg = cc.cfg;
+  cfg.scheduler = kAllSchedulers[static_cast<std::size_t>(index) %
+                                 kSchedulerCount];
+  cfg.topology = (cfg.scheduler == SchedulerKind::kNegotiatorSelectiveRelay ||
+                  rng.next_below(2) == 0)
+                     ? TopologyKind::kThinClos
+                     : TopologyKind::kParallel;
+  if (rng.next_below(3) == 0) {
+    cfg.num_tors = 16;
+    cfg.ports_per_tor = 8;
+  } else {
+    cfg.num_tors = 12;
+    cfg.ports_per_tor = 4;
+  }
+  cfg.seed = 0xda7a + static_cast<std::uint64_t>(index);
+  if (cfg.scheduler == SchedulerKind::kNegotiatorIterative) {
+    cfg.variant.iterations = 2;
+  }
+  cc.duration = 150'000 + 50'000 * rng.next_below(3);
+  cc.workload_seed = rng.next_u64();
+  cc.install_seed = rng.next_u64();
+
+  cfg.data_fault.enabled = true;
+  cfg.data_fault.arq = true;
+  const double drop = 0.02 + 0.04 * static_cast<double>(rng.next_below(4));
+  cfg.data_fault.first_hop_drop = drop;
+  cfg.data_fault.relay_drop = drop;
+  cfg.data_fault.second_hop_drop = drop;
+  cfg.data_fault.corrupt_prob = 0.01;
+  // Arms the per-epoch MatchingValidator AND the conservation auditor.
+  cfg.validate_matching = true;
+
+  DataLossSpec d;
+  d.windows = 1 + static_cast<int>(rng.next_below(2));
+  d.first_at = 30'000 + 10'000 * rng.next_below(3);
+  d.interval = 70'000;
+  d.duration_ns = 30'000 + 10'000 * rng.next_below(3);
+  d.start_jitter = 5'000;
+  d.drop = 0.5 + 0.1 * static_cast<double>(rng.next_below(4));
+  cc.scenario.data_loss(d);
+
+  // Half the cases run the full triple-fault composition: a ToR-group
+  // storm and a control brownout land on top of the data-loss window, so
+  // links, control messages, and data chunks all degrade at once. The
+  // brownout needs the lossy control channel, which only the
+  // negotiator-matching family carries — elsewhere it stays a no-op
+  // (composability contract), so the storm alone joins the window.
+  if (rng.next_below(2) == 0) {
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 1;
+    s.first_burst_at = d.first_at;
+    s.burst_window = 10'000;
+    s.outage_ns = d.duration_ns;
+    s.repair_stagger = 10'000;
+    cc.scenario.storm(s);
+    const bool negotiator_family =
+        cfg.scheduler != SchedulerKind::kOblivious &&
+        cfg.scheduler != SchedulerKind::kProjector &&
+        cfg.scheduler != SchedulerKind::kCentralized;
+    if (negotiator_family) {
+      cfg.control_fault.enabled = true;
+      cfg.control_fault.request_drop = 0.1;
+      cfg.control_fault.grant_drop = 0.1;
+      cfg.control_fault.accept_drop = 0.1;
+    }
+    ControlBrownoutSpec b;
+    b.windows = 1;
+    b.first_at = d.first_at;
+    b.duration_ns = d.duration_ns;
+    b.start_jitter = 5'000;
+    b.drop = 0.9;
+    cc.scenario.control_brownout(b);
+  }
+  return cc;
+}
+
 struct ChaosOutcome {
   std::size_t flows{0};
   std::size_t completed{0};
   Bytes injected{0};
   Bytes backlog{0};
   std::uint64_t events{0};
+  std::int64_t conservation_checks{0};
   ResilienceRecorder rec;
 
   explicit ChaosOutcome(const NetworkConfig& cfg)
       : rec(cfg.num_tors, cfg.ports_per_tor) {}
 };
+
+/// The conservation auditor lives on the concrete fabric types (armed
+/// only when the data plane exists and validation is on).
+const ConservationAuditor* find_auditor(FabricSim& fab) {
+  if (auto* n = dynamic_cast<NegotiatorFabric*>(&fab)) {
+    return n->conservation_auditor();
+  }
+  if (auto* o = dynamic_cast<ObliviousFabric*>(&fab)) {
+    return o->conservation_auditor();
+  }
+  return nullptr;
+}
+
+const HostTransport* find_transport(FabricSim& fab) {
+  if (auto* n = dynamic_cast<NegotiatorFabric*>(&fab)) {
+    return n->host_transport();
+  }
+  if (auto* o = dynamic_cast<ObliviousFabric*>(&fab)) {
+    return o->host_transport();
+  }
+  return nullptr;
+}
 
 ChaosOutcome run_case(const ChaosCase& cc, int index) {
   ChaosOutcome out(cc.cfg);
@@ -314,6 +453,28 @@ ChaosOutcome run_case(const ChaosCase& cc, int index) {
   EXPECT_EQ(out.rec.repairs(), static_cast<std::int64_t>(tl.repair_count()));
   EXPECT_EQ(out.rec.exclusions(), out.rec.inclusions())
       << "case " << index << ": exclusion churn did not settle";
+
+  // Data-plane cases: the byte-conservation auditor must have balanced
+  // its ledger at every epoch boundary (it aborts the run otherwise), and
+  // ARQ must leave nothing abandoned — the drain above is byte-exact.
+  if (cc.cfg.data_fault.enabled) {
+    const ConservationAuditor* auditor = find_auditor(fab);
+    EXPECT_NE(auditor, nullptr) << "case " << index << ": auditor not armed";
+    if (auditor != nullptr) {
+      out.conservation_checks = auditor->checks();
+      EXPECT_GT(auditor->checks(), 0)
+          << "case " << index << ": the auditor never ran";
+    }
+    if (const HostTransport* t = find_transport(fab)) {
+      EXPECT_EQ(t->abandoned_bytes(), 0)
+          << "case " << index << ": ARQ gave up on "
+          << t->abandoned_units() << " units (rto_fires "
+          << t->rto_fires() << ", max_backoff "
+          << t->max_backoff_reached() << ")";
+      EXPECT_EQ(t->unresolved_bytes(), 0)
+          << "case " << index << ": units still pending after the drain";
+    }
+  }
   return out;
 }
 
@@ -333,6 +494,12 @@ void accumulate(const ChaosOutcome& out) {
   g_totals.fallback_bytes += out.rec.fallback_bytes();
   g_totals.control_grants += out.rec.control_grants();
   g_totals.control_accepts += out.rec.control_accepts();
+  g_totals.data_dropped += out.rec.data_dropped();
+  g_totals.data_corrupted += out.rec.data_corrupted();
+  g_totals.retransmitted_bytes += out.rec.retransmitted_bytes();
+  g_totals.spurious_retx += out.rec.spurious_retx();
+  g_totals.rto_fires += out.rec.rto_fires();
+  g_totals.conservation_checks += out.conservation_checks;
 }
 
 /// Writes the aggregate artifact after every sweep has run, so the
@@ -348,6 +515,7 @@ class ChaosJsonEnvironment final : public ::testing::Environment {
     std::fprintf(
         f,
         "{\n  \"scenarios\": %d,\n  \"lossy_cases\": %d,\n"
+        "  \"data_loss_cases\": %d,\n"
         "  \"total_failures\": %lld,\n"
         "  \"total_exclusion_churn\": %lld,\n"
         "  \"total_blackholed_bytes\": %lld,\n"
@@ -360,8 +528,15 @@ class ChaosJsonEnvironment final : public ::testing::Environment {
         "  \"total_degraded_slots\": %lld,\n"
         "  \"total_fallback_bytes\": %lld,\n"
         "  \"total_control_grants\": %lld,\n"
-        "  \"total_control_accepts\": %lld\n}\n",
-        t.scenarios, t.lossy_cases, static_cast<long long>(t.failures),
+        "  \"total_control_accepts\": %lld,\n"
+        "  \"total_data_dropped\": %lld,\n"
+        "  \"total_data_corrupted\": %lld,\n"
+        "  \"total_retransmitted_bytes\": %lld,\n"
+        "  \"total_spurious_retx\": %lld,\n"
+        "  \"total_rto_fires\": %lld,\n"
+        "  \"total_conservation_checks\": %lld\n}\n",
+        t.scenarios, t.lossy_cases, t.data_loss_cases,
+        static_cast<long long>(t.failures),
         static_cast<long long>(t.exclusion_churn),
         static_cast<long long>(t.blackholed),
         static_cast<long long>(t.injected),
@@ -375,7 +550,13 @@ class ChaosJsonEnvironment final : public ::testing::Environment {
         static_cast<long long>(t.degraded_slots),
         static_cast<long long>(t.fallback_bytes),
         static_cast<long long>(t.control_grants),
-        static_cast<long long>(t.control_accepts));
+        static_cast<long long>(t.control_accepts),
+        static_cast<long long>(t.data_dropped),
+        static_cast<long long>(t.data_corrupted),
+        static_cast<long long>(t.retransmitted_bytes),
+        static_cast<long long>(t.spurious_retx),
+        static_cast<long long>(t.rto_fires),
+        static_cast<long long>(t.conservation_checks));
     std::fclose(f);
   }
 };
@@ -423,6 +604,39 @@ TEST(ChaosScenarios, LossyControlPlaneSweepHoldsInvariants) {
   EXPECT_GT(dropped, 0) << "the lossy sweep never dropped a message";
   EXPECT_GT(fallback_cases, 0)
       << "the lossy sweep never exercised the oblivious fallback";
+}
+
+TEST(ChaosScenarios, CombinedFaultDataLossSweepHoldsInvariants) {
+  // The strongest drain invariant in the harness: with ARQ on, a lossy
+  // data plane — composed with storms and control brownouts on half the
+  // cases — must still deliver every injected byte (run_case asserts
+  // delivered == injected and completed == flows after the drain horizon),
+  // with the byte-conservation auditor balancing its ledger at every epoch
+  // boundary along the way.
+  const int count = data_loss_case_count();
+  std::int64_t dropped = 0;
+  std::int64_t retransmitted = 0;
+  std::int64_t checks = 0;
+  int triple_fault_cases = 0;
+  for (int i = 0; i < count; ++i) {
+    const ChaosCase cc = build_data_loss_case(i);
+    const ChaosOutcome out = run_case(cc, i);
+    accumulate(out);
+    dropped += out.rec.data_dropped();
+    retransmitted += static_cast<std::int64_t>(out.rec.retransmitted_bytes());
+    checks += out.conservation_checks;
+    if (out.rec.failures() > 0) ++triple_fault_cases;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "stopping the data-loss sweep at case " << i << " ("
+             << cc.cfg.summary() << ")";
+    }
+  }
+  g_totals.data_loss_cases = count;
+  EXPECT_GT(dropped, 0) << "the data-loss sweep never dropped a chunk";
+  EXPECT_GT(retransmitted, 0) << "ARQ never retransmitted";
+  EXPECT_GT(checks, 0) << "the conservation auditor never ran";
+  EXPECT_GT(triple_fault_cases, 0)
+      << "the sweep never composed a storm with the data-loss window";
 }
 
 TEST(ChaosScenarios, SweepCoversEverySchedulerAndBothTopologies) {

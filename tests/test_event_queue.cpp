@@ -40,6 +40,9 @@ class RecordingSink : public EventSink {
     }
     train_sizes.push_back(e.count);
   }
+  void on_transport_timer(const TransportTimerEvent& e, Nanos now) override {
+    fired.push_back(Fired{'x', e.flow_index, now});
+  }
 
   std::vector<Fired> fired;
   std::vector<RelayTrainChunk> train_chunks;
@@ -435,6 +438,109 @@ TEST(EventQueue, TrainBeyondHorizonFallsBackToHeap) {
   EXPECT_EQ(sink.fired[1].tag, 3);
   EXPECT_EQ(sink.fired[2].tag, 2);
   EXPECT_EQ(sink.fired[2].when, 10 + 2 * kHorizon);
+}
+
+TEST(EventQueue, TransportTimersCarryTheirPayloadAndInterleave) {
+  // Retransmit timers ride the calendar like handoffs and share the global
+  // (timestamp, schedule order) tie-break with every other tier.
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  q.schedule_flow_arrival(5, 100);
+  q.schedule_transport_timer(5, TransportTimerEvent{101});
+  q.schedule_relay_handoff(5, RelayHandoffEvent{0, 1, 102, 10});
+  q.schedule_transport_timer(3, TransportTimerEvent{103});
+  q.run_until(10);
+  ASSERT_EQ(sink.fired.size(), 4u);
+  EXPECT_EQ(sink.fired[0].kind, 'x');
+  EXPECT_EQ(sink.fired[0].tag, 103);
+  EXPECT_EQ(sink.fired[0].when, 3);
+  EXPECT_EQ(sink.fired[1].tag, 100);
+  EXPECT_EQ(sink.fired[2].kind, 'x');
+  EXPECT_EQ(sink.fired[2].tag, 101);
+  EXPECT_EQ(sink.fired[3].tag, 102);
+}
+
+TEST(EventQueue, TransportTimerBeyondHorizonFallsBackToHeap) {
+  // A backed-off RTO can land past the 1024-bucket calendar window. The
+  // handoff to the heap must preserve the exact global order: in-window
+  // timers ride the calendar, the far one surfaces from the heap at its
+  // timestamp, and a timer at the horizon boundary still fires in place.
+  constexpr Nanos kHorizon =
+      EventQueue::kCalendarBucketNs * EventQueue::kCalendarBuckets;
+  EventQueue q;
+  RecordingSink sink;
+  q.set_sink(&sink);
+  // Pin the calendar window near t=0.
+  q.schedule_transport_timer(100, TransportTimerEvent{1});
+  // Exponential backoff shape: doubling RTOs, the last two beyond horizon.
+  q.schedule_transport_timer(100 + 2 * kHorizon, TransportTimerEvent{2});
+  q.schedule_transport_timer(100, TransportTimerEvent{3});  // tie with #1
+  q.schedule_transport_timer(kHorizon - 1, TransportTimerEvent{4});
+  q.schedule_transport_timer(kHorizon, TransportTimerEvent{5});  // boundary
+  q.schedule_transport_timer(4 * kHorizon, TransportTimerEvent{6});
+  q.run_until(kNeverNs - 1);
+  ASSERT_EQ(sink.fired.size(), 6u);
+  EXPECT_EQ(sink.fired[0].tag, 1);
+  EXPECT_EQ(sink.fired[1].tag, 3);  // same timestamp -> schedule order
+  EXPECT_EQ(sink.fired[2].tag, 4);
+  EXPECT_EQ(sink.fired[2].when, kHorizon - 1);
+  EXPECT_EQ(sink.fired[3].tag, 5);
+  EXPECT_EQ(sink.fired[3].when, kHorizon);
+  EXPECT_EQ(sink.fired[4].tag, 2);
+  EXPECT_EQ(sink.fired[4].when, 100 + 2 * kHorizon);
+  EXPECT_EQ(sink.fired[5].tag, 6);
+}
+
+TEST(EventQueue, TransportTimerHorizonHandoffIsDeterministic) {
+  // Property at the calendar/heap boundary: a randomized mix of timers
+  // straddling the horizon — re-armed from inside firing events, exactly
+  // the lazy re-arm shape HostTransport produces — fires in the exact
+  // (timestamp, schedule order) sort, twice over with identical results.
+  constexpr Nanos kHorizon =
+      EventQueue::kCalendarBucketNs * EventQueue::kCalendarBuckets;
+  std::vector<std::vector<std::int64_t>> runs;
+  for (int run = 0; run < 2; ++run) {
+    Rng rng(4242);  // same seed both runs: the order must be identical
+    EventQueue q;
+    RecordingSink sink;
+    q.set_sink(&sink);
+    std::vector<std::pair<Nanos, std::int64_t>> expected;  // (when, sched#)
+    std::int64_t sched = 0;
+    auto schedule_one = [&](Nanos when) {
+      q.schedule_transport_timer(
+          when, TransportTimerEvent{static_cast<std::int32_t>(sched)});
+      expected.emplace_back(when, sched);
+      ++sched;
+    };
+    // Seed timers clustered around the horizon from t=0.
+    for (int i = 0; i < 60; ++i) {
+      schedule_one(kHorizon - 8 + rng.next_below(16));
+    }
+    // Drain, re-arming with doubling spans that hop across the boundary.
+    std::int64_t processed = 0;
+    while (!q.empty()) {
+      const Nanos now = q.next_time();
+      q.run_next();
+      if (++processed % 3 == 0 && sched < 200) {
+        schedule_one(now + (rng.next_below(2) == 0
+                                ? rng.next_below(kHorizon)
+                                : kHorizon + rng.next_below(kHorizon)));
+      }
+    }
+    std::stable_sort(
+        expected.begin(), expected.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_EQ(sink.fired.size(), expected.size()) << "run " << run;
+    std::vector<std::int64_t> got;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(sink.fired[i].tag, expected[i].second) << "position " << i;
+      EXPECT_EQ(sink.fired[i].when, expected[i].first) << "position " << i;
+      got.push_back(sink.fired[i].tag);
+    }
+    runs.push_back(std::move(got));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
 }
 
 TEST(EventQueue, ScheduleRelayTrainCopiesTheSpan) {

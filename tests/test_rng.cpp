@@ -6,6 +6,9 @@
 #include <set>
 #include <vector>
 
+#include "core/control_channel.h"
+#include "core/data_channel.h"
+
 namespace negotiator {
 namespace {
 
@@ -88,6 +91,38 @@ TEST(Rng, ForkIsIndependentAndReproducible) {
   Rng c(99);
   Rng child3 = c.fork();
   EXPECT_NE(c.next_u64(), child3.next_u64());
+}
+
+// Regression pin for the shared salted-stream helper: both lossy channels
+// (core/control_channel.h, core/data_channel.h) build their private
+// streams through make_salted_stream, which must stay exactly
+// Rng(seed ^ salt) — any change would shift every committed control-loss
+// and data-loss golden fingerprint.
+TEST(Rng, MakeSaltedStreamIsSeedXorSalt) {
+  for (const std::uint64_t seed : {0ULL, 7ULL, 0xdeadbeefULL}) {
+    for (const std::uint64_t salt :
+         {kControlChannelSeedSalt, kDataChannelSeedSalt,
+          std::uint64_t{0}}) {
+      Rng expected(seed ^ salt);
+      Rng stream = make_salted_stream(seed, salt);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(stream.next_u64(), expected.next_u64())
+            << "seed " << seed << " salt " << salt << " draw " << i;
+      }
+    }
+  }
+}
+
+TEST(Rng, SaltedStreamsAreIndependentOfTheParent) {
+  // Constructing a salted stream must not advance any other stream: the
+  // parent's draw sequence is identical whether or not channels exist.
+  Rng a(42);
+  Rng b(42);
+  Rng channel = make_salted_stream(42, kDataChannelSeedSalt);
+  channel.next_u64();
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
 }
 
 }  // namespace

@@ -52,6 +52,13 @@ struct Scenario {
   // legacy goldens above draw exactly the seed engine's RNG sequence.
   double control_drop{0.0};
   bool control_fallback{false};  // per-slot oblivious fallback on/off
+  // Lossy data plane (core/data_channel.h): chunk-drop probability applied
+  // to all three hop classes plus a fixed corruption rate, with or without
+  // the end-host ARQ (tor/host_transport.h). Zero leaves both the channel
+  // and the transport unconstructed — every golden above stays on the seed
+  // engine's exact RNG and event sequence.
+  double data_drop{0.0};
+  bool data_arq{false};
 };
 
 constexpr Nanos kDuration = 400'000;  // 0.4 ms simulated
@@ -126,6 +133,33 @@ FaultScenario canned_chaos(const char* kind) {
     b.start_jitter = 10'000;
     b.drop = 0.8;
     fs.storm(s).control_brownout(b);
+  } else if (k == "data-brownout") {
+    // The combined worst case from the chaos sweep: a ToR-group storm, a
+    // control brownout, and a data-loss window all covering the same
+    // span — dropped chunks must be re-negotiated over a browned-out
+    // control plane while part of the zone is dark.
+    StormSpec s;
+    s.zone = StormSpec::Zone::kTorGroup;
+    s.group_size = 4;
+    s.bursts = 1;
+    s.first_burst_at = 80'000;
+    s.burst_window = 10'000;
+    s.outage_ns = 50'000;
+    s.repair_stagger = 10'000;
+    ControlBrownoutSpec b;
+    b.windows = 1;
+    b.first_at = 80'000;
+    b.duration_ns = 50'000;
+    b.start_jitter = 10'000;
+    b.drop = 0.7;
+    DataLossSpec d;
+    d.windows = 2;
+    d.first_at = 80'000;
+    d.interval = 120'000;
+    d.duration_ns = 40'000;
+    d.start_jitter = 10'000;
+    d.drop = 0.6;
+    fs.storm(s).control_brownout(b).data_loss(d);
   } else if (k == "mix") {
     StormSpec s;
     s.zone = StormSpec::Zone::kTorGroup;
@@ -188,6 +222,15 @@ std::uint64_t run_fingerprint(const Scenario& sc) {
     cfg.control_fault.duplicate_prob = 0.05;
     cfg.control_fault.fallback = sc.control_fallback;
     // Pin the matching invariants on every lossy golden, in Release too.
+    cfg.validate_matching = true;
+  }
+  if (sc.data_drop > 0.0) {
+    cfg.data_fault.enabled = true;
+    cfg.data_fault.first_hop_drop = sc.data_drop;
+    cfg.data_fault.relay_drop = sc.data_drop;
+    cfg.data_fault.second_hop_drop = sc.data_drop;
+    cfg.data_fault.corrupt_prob = 0.01;
+    cfg.data_fault.arq = sc.data_arq;
     cfg.validate_matching = true;
   }
   if (sc.host_plane) {
@@ -378,6 +421,32 @@ const Scenario kScenarios[] = {
     {"negotiator/parallel/brownout-storm", TopologyKind::kParallel,
      SchedulerKind::kNegotiator, 16, 8, 0.6, 66, false, false, true, true,
      false, 1, "control-brownout", 0.1, true},
+    // Lossy data plane (core/data_channel.h + tor/host_transport.h):
+    // drop-only runs pin the raw-loss measurement mode (no ARQ — dropped
+    // bytes are terminal), arq runs pin the full selective-repeat recovery
+    // timeline, and the data-brownout golden pins the combined-fault
+    // timeline (storm + control brownout + data-loss window at once).
+    {"negotiator/parallel/data-loss", TopologyKind::kParallel,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 71, false, false, true, true,
+     false, 1, nullptr, 0.0, false, 0.05, false},
+    {"negotiator/thin-clos/data-loss-arq", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 72, false, false, true, true,
+     false, 1, nullptr, 0.0, false, 0.05, true},
+    {"oblivious/thin-clos/data-loss", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 73, false, false, true, true,
+     false, 1, nullptr, 0.0, false, 0.05, false},
+    {"oblivious/thin-clos/data-loss-arq", TopologyKind::kThinClos,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 74, false, false, true, true,
+     false, 1, nullptr, 0.0, false, 0.05, true},
+    {"oblivious/parallel/data-loss-arq", TopologyKind::kParallel,
+     SchedulerKind::kOblivious, 16, 8, 0.6, 75, false, false, true, true,
+     false, 1, nullptr, 0.0, false, 0.05, true},
+    {"selective-relay/thin-clos/data-loss-arq", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiatorSelectiveRelay, 16, 8, 0.9, 76, false, false,
+     true, true, false, 1, nullptr, 0.0, false, 0.05, true},
+    {"negotiator/thin-clos/data-brownout", TopologyKind::kThinClos,
+     SchedulerKind::kNegotiator, 16, 8, 0.6, 77, false, false, true, true,
+     false, 1, "data-brownout", 0.1, true, 0.05, true},
 };
 
 // Golden fingerprints captured from the seed engine (pre-sparse pipeline).
@@ -432,6 +501,13 @@ const Golden kGoldens[] = {
     {"informative-hol/thin-clos/lossy", 0xdad2310a0b4c5c50ULL},
     {"selective-relay/thin-clos/lossy-fallback", 0x40d72c6d17078172ULL},
     {"negotiator/parallel/brownout-storm", 0x910a2ba6b0f100c0ULL},
+    {"negotiator/parallel/data-loss", 0x5679576798ac6210ULL},
+    {"negotiator/thin-clos/data-loss-arq", 0x5c9166f0bc4e299aULL},
+    {"oblivious/thin-clos/data-loss", 0x6376993453458f8bULL},
+    {"oblivious/thin-clos/data-loss-arq", 0xe84880666f4b34dbULL},
+    {"oblivious/parallel/data-loss-arq", 0xd87ed1bf8baf861ULL},
+    {"selective-relay/thin-clos/data-loss-arq", 0x9d983938ac8c1422ULL},
+    {"negotiator/thin-clos/data-brownout", 0x69f9d5979467b9e6ULL},
 };
 
 static_assert(std::size(kScenarios) == std::size(kGoldens),
