@@ -1,0 +1,42 @@
+#include "engine/slot_shard_executor.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace negotiator {
+
+SlotShardExecutor::SlotShardExecutor(int threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<unsigned>(threads_ - 1));
+  }
+}
+
+SlotShardExecutor::Range SlotShardExecutor::shard_range(int n, int shards,
+                                                        int shard) {
+  NEG_ASSERT(shards >= 1 && shard >= 0 && shard < shards,
+             "shard index out of range");
+  if (n < 0) n = 0;
+  const int base = n / shards;
+  const int extra = n % shards;  // the first `extra` shards get one more
+  const int begin = shard * base + (shard < extra ? shard : extra);
+  const int end = begin + base + (shard < extra ? 1 : 0);
+  return Range{begin, end};
+}
+
+int SlotShardExecutor::resolve_threads(int configured) {
+  if (configured > 0) return configured;
+  const char* env = std::getenv("NEG_SIM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  if (std::string(env) == "hw") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : 1;
+}
+
+}  // namespace negotiator

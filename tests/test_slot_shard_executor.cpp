@@ -1,0 +1,209 @@
+// SlotShardExecutor (engine/slot_shard_executor.h): the partition
+// arithmetic, the group-aligned splitting, and the determinism contract —
+// ascending-shard commit must be independent of worker completion order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/slot_shard_executor.h"
+
+namespace negotiator {
+namespace {
+
+using Range = SlotShardExecutor::Range;
+
+TEST(ShardRange, CoversWithoutOverlapOrGaps) {
+  for (int n : {0, 1, 2, 3, 7, 8, 15, 16, 17, 100, 1000}) {
+    for (int shards : {1, 2, 3, 4, 7, 8, 16}) {
+      int cursor = 0;
+      for (int s = 0; s < shards; ++s) {
+        const Range r = SlotShardExecutor::shard_range(n, shards, s);
+        EXPECT_EQ(r.begin, cursor) << "n=" << n << " shards=" << shards;
+        EXPECT_GE(r.size(), 0);
+        cursor = r.end;
+      }
+      EXPECT_EQ(cursor, n) << "n=" << n << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardRange, SizesDifferByAtMostOne) {
+  const int n = 23, shards = 5;
+  int min_size = n, max_size = 0;
+  for (int s = 0; s < shards; ++s) {
+    const int size = SlotShardExecutor::shard_range(n, shards, s).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1);
+  // The first n % shards shards carry the extra item.
+  EXPECT_EQ(SlotShardExecutor::shard_range(n, shards, 0).size(), 5);
+  EXPECT_EQ(SlotShardExecutor::shard_range(n, shards, 3).size(), 4);
+}
+
+TEST(ShardRange, FewerItemsThanShardsLeavesTrailingShardsEmpty) {
+  const int n = 3, shards = 8;
+  for (int s = 0; s < shards; ++s) {
+    const Range r = SlotShardExecutor::shard_range(n, shards, s);
+    EXPECT_EQ(r.size(), s < n ? 1 : 0);
+    if (s >= n) {
+      EXPECT_TRUE(r.empty());
+    }
+  }
+}
+
+TEST(ShardRange, SingleItem) {
+  EXPECT_EQ(SlotShardExecutor::shard_range(1, 4, 0), (Range{0, 1}));
+  EXPECT_TRUE(SlotShardExecutor::shard_range(1, 4, 3).empty());
+}
+
+TEST(PartitionByGroup, BoundariesNeverSplitAGroup) {
+  // Items 0..11 in groups of 3: same_group(i) == (i % 3 != 0).
+  SlotShardExecutor exec(4);
+  std::vector<Range> ranges;
+  exec.partition_by_group(12, ranges,
+                         [](int i) { return i % 3 != 0; });
+  ASSERT_FALSE(ranges.empty());
+  int cursor = 0;
+  for (const Range& r : ranges) {
+    EXPECT_EQ(r.begin, cursor);
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.begin % 3, 0) << "boundary fell inside a group";
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 12);
+}
+
+TEST(PartitionByGroup, OneGiantGroupCollapsesToOneRange) {
+  SlotShardExecutor exec(4);
+  std::vector<Range> ranges;
+  exec.partition_by_group(10, ranges, [](int) { return true; });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (Range{0, 10}));
+}
+
+TEST(PartitionByGroup, EmptyInputYieldsNoRanges) {
+  SlotShardExecutor exec(4);
+  std::vector<Range> ranges{{0, 5}};  // stale content must be cleared
+  exec.partition_by_group(0, ranges, [](int) { return false; });
+  EXPECT_TRUE(ranges.empty());
+}
+
+TEST(PartitionByGroup, ExtendedBoundarySwallowingLaterShards) {
+  // 8 items, 4 shards, one group spanning [0, 6): the first boundary
+  // extends past the static ends of shards 1 and 2, which must vanish
+  // instead of emitting empty or overlapping ranges.
+  SlotShardExecutor exec(4);
+  std::vector<Range> ranges;
+  exec.partition_by_group(8, ranges,
+                         [](int i) { return i < 6; });
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (Range{0, 6}));
+  EXPECT_EQ(ranges[1], (Range{6, 8}));
+}
+
+TEST(ForShards, SerialExecutorRunsInline) {
+  SlotShardExecutor exec(1);
+  EXPECT_FALSE(exec.parallel());
+  int calls = 0;
+  std::thread::id caller = std::this_thread::get_id();
+  exec.for_shards(10, [&](int shard, Range r) {
+    ++calls;
+    EXPECT_EQ(shard, 0);
+    EXPECT_EQ(r, (Range{0, 10}));
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ForShards, EveryShardRunsExactlyOnce) {
+  SlotShardExecutor exec(4);
+  std::vector<std::atomic<int>> hits(4);
+  exec.for_shards(100, [&](int shard, Range r) {
+    EXPECT_EQ(r, SlotShardExecutor::shard_range(100, 4, shard));
+    hits[static_cast<std::size_t>(shard)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForShards, CommitOrderIsIndependentOfCompletionOrder) {
+  // Adversarial timing: early shards sleep so late shards finish first.
+  // The staged-merge pattern every call site uses — workers append to
+  // shard-local buffers, caller concatenates ascending — must still
+  // produce the sequential order.
+  SlotShardExecutor exec(4);
+  const int n = 40;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::vector<int>> staged(4);
+    exec.for_shards(n, [&](int shard, Range r) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds((3 - shard) * 200 + (round % 3) * 50));
+      for (int i = r.begin; i < r.end; ++i) {
+        staged[static_cast<std::size_t>(shard)].push_back(i);
+      }
+    });
+    std::vector<int> merged;
+    for (const auto& s : staged) {
+      merged.insert(merged.end(), s.begin(), s.end());
+    }
+    std::vector<int> expect(static_cast<std::size_t>(n));
+    std::iota(expect.begin(), expect.end(), 0);
+    ASSERT_EQ(merged, expect) << "round " << round;
+  }
+}
+
+TEST(ForRanges, RunsCallerSuppliedRangesAndBlocks) {
+  SlotShardExecutor exec(4);
+  const std::vector<Range> ranges = {{0, 7}, {7, 9}, {9, 20}};
+  std::vector<std::atomic<int>> sums(3);
+  exec.for_ranges(std::span<const Range>(ranges),
+                  [&](int i, Range r) {
+                    int sum = 0;
+                    for (int k = r.begin; k < r.end; ++k) sum += k;
+                    sums[static_cast<std::size_t>(i)] = sum;
+                  });
+  EXPECT_EQ(sums[0].load(), 0 + 1 + 2 + 3 + 4 + 5 + 6);
+  EXPECT_EQ(sums[1].load(), 7 + 8);
+  EXPECT_EQ(sums[2].load(), 9 + 10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19);
+}
+
+TEST(ForRanges, EmptySpanIsANoOp) {
+  SlotShardExecutor exec(2);
+  exec.for_ranges(std::span<const Range>{},
+                  [](int, Range) { FAIL() << "must not be called"; });
+}
+
+TEST(ForShards, WorkerExceptionPropagatesToCaller) {
+  SlotShardExecutor exec(4);
+  EXPECT_THROW(exec.for_shards(8,
+                               [](int shard, Range) {
+                                 if (shard == 2) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+               std::runtime_error);
+  // The pool must stay usable after a propagated exception.
+  std::atomic<int> ok{0};
+  exec.for_shards(8, [&](int, Range) { ok++; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ResolveThreads, ConfiguredValueWinsOverEnvironment) {
+  ::setenv("NEG_SIM_THREADS", "7", 1);
+  EXPECT_EQ(SlotShardExecutor::resolve_threads(3), 3);
+  EXPECT_EQ(SlotShardExecutor::resolve_threads(0), 7);
+  ::setenv("NEG_SIM_THREADS", "hw", 1);
+  EXPECT_GE(SlotShardExecutor::resolve_threads(0), 1);
+  ::setenv("NEG_SIM_THREADS", "garbage", 1);
+  EXPECT_EQ(SlotShardExecutor::resolve_threads(0), 1);
+  ::unsetenv("NEG_SIM_THREADS");
+  EXPECT_EQ(SlotShardExecutor::resolve_threads(0), 1);
+}
+
+}  // namespace
+}  // namespace negotiator
